@@ -1,0 +1,130 @@
+/**
+ * @file
+ * A1 (ablation): the modelling choices DESIGN.md calls out, measured.
+ *
+ *  (a) store-buffer ownership prefetching -- without it the baseline
+ *      serializes store misses and speculation would get credit for an
+ *      artifact of the model;
+ *  (b) relaxed-drain overlap (RMO max_inflight) -- the source of RMO's
+ *      drain-bandwidth advantage;
+ *  (c) rollback backoff cap -- what contains conflict thrashing.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "workload/microbench.hh"
+
+using namespace fenceless;
+using namespace fenceless::bench;
+
+int
+main()
+{
+    banner("A1", "ablations of the model's design choices");
+
+    // (a) ownership prefetch depth, TSO baseline, store-heavy workload
+    {
+        std::cout << "-- (a) store ownership prefetch depth "
+                     "(local-locks, TSO baseline, cycles) --\n";
+        harness::Table table({"prefetch depth", "cycles",
+                              "prefetches"});
+        workload::LocalLockStream::Params p;
+        p.iters = 96;
+        p.stream_stores = 8;
+        for (unsigned depth : {0, 1, 2, 4, 8}) {
+            harness::SystemConfig cfg = defaultConfig();
+            cfg.sb_prefetch_depth = depth;
+            workload::LocalLockStream wl(p);
+            isa::Program prog = wl.build(cfg.num_cores);
+            harness::System sys(cfg, prog);
+            if (!sys.run())
+                fatal("did not terminate");
+            std::string error;
+            if (!wl.check(sys.memReader(), cfg.num_cores, error))
+                fatal(error);
+            std::uint64_t prefetches = 0;
+            for (std::uint32_t c = 0; c < cfg.num_cores; ++c)
+                prefetches += sys.l1(c).statGroup().scalarCount(
+                    "prefetches");
+            table.addRow({std::to_string(depth),
+                          harness::fmt(static_cast<double>(
+                              sys.runtimeCycles()), 0),
+                          std::to_string(prefetches)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // (b) relaxed drain overlap, RMO baseline
+    {
+        std::cout << "-- (b) RMO drain overlap (local-locks, RMO "
+                     "baseline, cycles) --\n";
+        harness::Table table({"max inflight drains", "cycles"});
+        workload::LocalLockStream::Params p;
+        p.iters = 96;
+        p.stream_stores = 8;
+        for (unsigned inflight : {1, 2, 4, 8}) {
+            harness::SystemConfig cfg = defaultConfig();
+            cfg.model = cpu::ConsistencyModel::RMO;
+            cfg.sb_max_inflight = inflight;
+            cfg.sb_prefetch_depth = 0; // isolate the overlap effect
+            workload::LocalLockStream wl(p);
+            isa::Program prog = wl.build(cfg.num_cores);
+            harness::System sys(cfg, prog);
+            if (!sys.run())
+                fatal("did not terminate");
+            std::string error;
+            if (!wl.check(sys.memReader(), cfg.num_cores, error))
+                fatal(error);
+            table.addRow({std::to_string(inflight),
+                          harness::fmt(static_cast<double>(
+                              sys.runtimeCycles()), 0)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // (c) rollback backoff cap under heavy conflicts (dekker)
+    {
+        std::cout << "-- (c) rollback backoff cap (dekker, IF-SC; "
+                     "baseline SC = 1.00) --\n";
+        harness::Table table({"max cooldown", "runtime vs base",
+                              "rollbacks"});
+        workload::Dekker::Params p;
+        p.iters = 400;
+        double base = 0;
+        {
+            harness::SystemConfig cfg = defaultConfig();
+            cfg.model = cpu::ConsistencyModel::SC;
+            workload::Dekker wl(p);
+            base = static_cast<double>(measure(wl, cfg).cycles);
+        }
+        for (unsigned cap : {1, 4, 16, 64, 256}) {
+            harness::SystemConfig cfg = defaultConfig();
+            cfg.model = cpu::ConsistencyModel::SC;
+            cfg.withSpeculation();
+            cfg.spec.max_cooldown = cap;
+            workload::Dekker wl(p);
+            isa::Program prog = wl.build(cfg.num_cores);
+            harness::System sys(cfg, prog);
+            if (!sys.run())
+                fatal("did not terminate");
+            std::string error;
+            if (!wl.check(sys.memReader(), cfg.num_cores, error))
+                fatal(error);
+            table.addRow({std::to_string(cap),
+                          harness::fmt(static_cast<double>(
+                              sys.runtimeCycles()) / base),
+                          std::to_string(sys.totalRollbacks())});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nShapes: (a) deeper prefetch removes serialized "
+                 "store misses from the\nbaseline; (b) more overlap "
+                 "speeds RMO's drain until bandwidth saturates;\n(c) "
+                 "a larger backoff cap contains Dekker's conflict "
+                 "storm.\n";
+    return 0;
+}

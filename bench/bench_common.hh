@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Shared helpers for the experiment binaries (T1..T3, F1..F9).
+ *
+ * Each bench binary regenerates one table or figure of the
+ * reconstructed evaluation (see DESIGN.md section 5 and
+ * EXPERIMENTS.md): it sweeps configurations, runs the workloads,
+ * verifies their postconditions, and prints the rows/series.
+ */
+
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "base/logging.hh"
+#include "harness/system.hh"
+#include "harness/table.hh"
+#include "workload/workload.hh"
+
+namespace fenceless::bench
+{
+
+/** The default evaluated machine (Table T1). */
+inline harness::SystemConfig
+defaultConfig(std::uint32_t cores = 8)
+{
+    harness::SystemConfig cfg;
+    cfg.num_cores = cores;
+    cfg.model = cpu::ConsistencyModel::TSO;
+    cfg.sb_size = 16;
+    cfg.l1.size = 32 * 1024;
+    cfg.l1.assoc = 8;
+    cfg.l1.hit_latency = 2;
+    cfg.l2.size = 4 * 1024 * 1024;
+    cfg.l2.assoc = 16;
+    cfg.l2.latency = 6;
+    cfg.l2.dram_latency = 80;
+    cfg.net.latency = 8;
+    cfg.max_cycles = 2'000'000'000ULL;
+    return cfg;
+}
+
+/** Result of one measured run. */
+struct RunResult
+{
+    Tick cycles = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t rollbacks = 0;
+};
+
+/**
+ * Build, run and verify one workload under one configuration.
+ * Terminination and postconditions are hard requirements: an
+ * experiment on a broken run would be meaningless.
+ */
+inline RunResult
+measure(workload::Workload &wl, const harness::SystemConfig &cfg)
+{
+    isa::Program prog = wl.build(cfg.num_cores);
+    harness::System sys(cfg, prog);
+    if (!sys.run())
+        fatal("workload '", wl.name(), "' did not terminate");
+    std::string error;
+    if (!wl.check(sys.memReader(), cfg.num_cores, error))
+        fatal("workload '", wl.name(), "' failed verification: ",
+              error);
+    RunResult r;
+    r.cycles = sys.runtimeCycles();
+    r.instructions = sys.totalInstructions();
+    r.commits = sys.totalCommits();
+    r.rollbacks = sys.totalRollbacks();
+    return r;
+}
+
+/** Standard experiment header. */
+inline void
+banner(const std::string &id, const std::string &title)
+{
+    std::cout << "\n=== " << id << ": " << title << " ===\n\n";
+}
+
+} // namespace fenceless::bench

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * F4: the bounded per-store comparator stalls once its speculative
+ * store queue fills; block granularity does not.  Runtime (normalized
+ * to block granularity) vs per-store queue capacity K, plus the stall
+ * counts, for the deep-speculation workloads.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "workload/kernels.hh"
+#include "workload/microbench.hh"
+
+using namespace fenceless;
+using namespace fenceless::bench;
+
+int
+main()
+{
+    banner("F4", "per-store queue capacity vs block granularity "
+                 "(on-demand SC, 160-cycle DRAM, runtime normalized "
+                 "to block granularity)");
+
+    const unsigned capacities[] = {2, 4, 8, 16, 32};
+
+    std::vector<std::string> headers{"workload", "block"};
+    for (unsigned k : capacities)
+        headers.push_back("K=" + std::to_string(k));
+    headers.push_back("stalls@K=2");
+    harness::Table table(std::move(headers));
+
+    workload::LocalLockStream::Params deep;
+    deep.iters = 96;
+    deep.stream_stores = 8;
+    workload::WorkloadPtr wls[] = {
+        std::make_unique<workload::LocalLockStream>(deep),
+        std::make_unique<workload::BarrierPhase>(),
+        std::make_unique<workload::Stencil2D>(),
+    };
+
+    for (auto &wl : wls) {
+        auto run = [&](spec::Granularity g, unsigned k) {
+            harness::SystemConfig cfg = defaultConfig();
+            cfg.model = cpu::ConsistencyModel::SC;
+            cfg.l2.dram_latency = 160; // deepen natural epochs
+            cfg.spec.mode = spec::SpecMode::OnDemand;
+            cfg.spec.granularity = g;
+            cfg.spec.ps_store_queue = k;
+            cfg.spec.ps_load_cam = 2 * k;
+            isa::Program prog = wl->build(cfg.num_cores);
+            harness::System sys(cfg, prog);
+            if (!sys.run())
+                fatal("'", wl->name(), "' did not terminate");
+            std::string error;
+            if (!wl->check(sys.memReader(), cfg.num_cores, error))
+                fatal(error);
+            std::uint64_t stalls = 0;
+            for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+                stalls += sys.specController(c)->statGroup()
+                              .scalarCount("spec_limit_stalls");
+            }
+            return std::pair<double, std::uint64_t>(
+                static_cast<double>(sys.runtimeCycles()), stalls);
+        };
+
+        const auto [block_cycles, block_stalls] =
+            run(spec::Granularity::Block, 16);
+        (void)block_stalls;
+        std::vector<std::string> row{wl->name(), "1.00"};
+        std::uint64_t stalls_at_2 = 0;
+        for (unsigned k : capacities) {
+            const auto [cycles, stalls] =
+                run(spec::Granularity::PerStore, k);
+            row.push_back(harness::fmt(cycles / block_cycles));
+            if (k == 2)
+                stalls_at_2 = stalls;
+        }
+        row.push_back(std::to_string(stalls_at_2));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nShape: small K stalls (runtime > 1); large K "
+                 "converges to block\ngranularity -- but its storage "
+                 "grows linearly (Table T3) while the\nblock design "
+                 "stays at ~1 KB.\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * F2 (headline): fence speculation makes memory ordering performance-
+ * transparent.  Normalized runtime of every workload under each
+ * consistency model, baseline vs. speculative (on-demand,
+ * block-granularity), all normalized to baseline RMO.
+ *
+ * Shape to reproduce: IF-SC closes most of the SC <-> RMO gap; IF-TSO
+ * removes the fence/atomic drain cost; IF-RMO ~= RMO (little left to
+ * win).
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/bench_common.hh"
+
+using namespace fenceless;
+using namespace fenceless::bench;
+
+int
+main()
+{
+    banner("F2", "fence speculation vs baseline (normalized runtime, "
+                 "baseline RMO = 1.00)");
+
+    harness::Table table({"workload", "SC", "IF-SC", "TSO", "IF-TSO",
+                          "RMO", "IF-RMO"});
+
+    double geo[6] = {1, 1, 1, 1, 1, 1};
+    unsigned rows = 0;
+
+    for (auto &wl : workload::standardSuite(2)) {
+        double cycles[6] = {};
+        double rmo_base = 0;
+        int i = 0;
+        for (auto model : {cpu::ConsistencyModel::SC,
+                           cpu::ConsistencyModel::TSO,
+                           cpu::ConsistencyModel::RMO}) {
+            for (bool speculative : {false, true}) {
+                harness::SystemConfig cfg = defaultConfig();
+                cfg.model = model;
+                if (speculative)
+                    cfg.withSpeculation();
+                RunResult r = measure(*wl, cfg);
+                cycles[i] = static_cast<double>(r.cycles);
+                if (model == cpu::ConsistencyModel::RMO &&
+                    !speculative) {
+                    rmo_base = cycles[i];
+                }
+                ++i;
+            }
+        }
+        std::vector<std::string> row{wl->name()};
+        // column order: SC, IF-SC, TSO, IF-TSO, RMO, IF-RMO
+        for (int c = 0; c < 6; ++c) {
+            const double norm = cycles[c] / rmo_base;
+            row.push_back(harness::fmt(norm));
+            geo[c] *= norm;
+        }
+        table.addRow(std::move(row));
+        ++rows;
+    }
+
+    std::vector<std::string> gmean{"geomean"};
+    for (int c = 0; c < 6; ++c)
+        gmean.push_back(harness::fmt(
+            std::pow(geo[c], 1.0 / rows)));
+    table.addRow(std::move(gmean));
+
+    table.print(std::cout);
+    std::cout << "\nShape to reproduce: IF-SC << SC (most of the "
+                 "SC->RMO gap closes);\nIF-TSO <= TSO (fence/atomic "
+                 "drains vanish); IF-RMO ~= RMO.\n";
+    return 0;
+}

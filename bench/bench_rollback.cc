@@ -1,0 +1,97 @@
+/**
+ * @file
+ * F5: rollback behaviour vs sharing contention.  Sweeping the number
+ * of bins in the contended workloads changes the probability that a
+ * remote write conflicts with a live speculation tag; the table reports
+ * rollback rate (per 1k instructions), discarded work, and the runtime
+ * effect.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "workload/kernels.hh"
+#include "workload/microbench.hh"
+
+using namespace fenceless;
+using namespace fenceless::bench;
+
+namespace
+{
+
+struct Point
+{
+    std::string label;
+    workload::WorkloadPtr wl;
+};
+
+} // namespace
+
+int
+main()
+{
+    banner("F5", "rollbacks vs contention (on-demand SC, 8 cores)");
+
+    std::vector<Point> points;
+    // Sweeping the bin count sweeps the probability that another
+    // core's write lands on a block this core speculatively touched.
+    for (unsigned bins : {2, 4, 8, 16, 64, 256}) {
+        workload::IrregularUpdate::Params p;
+        p.updates = 512;
+        p.bins = bins;
+        points.push_back({"irregular/" + std::to_string(bins) + "bins",
+                          std::make_unique<workload::IrregularUpdate>(
+                              p)});
+    }
+    for (std::uint64_t iters : {200, 400}) {
+        workload::Dekker::Params p;
+        p.iters = iters;
+        points.push_back({"dekker/" + std::to_string(iters),
+                          std::make_unique<workload::Dekker>(p)});
+    }
+
+    harness::Table table({"workload", "rollbacks/1k-inst",
+                          "discarded-inst%", "epochs", "speedup vs "
+                          "base"});
+
+    for (auto &pt : points) {
+        harness::SystemConfig base_cfg = defaultConfig();
+        base_cfg.model = cpu::ConsistencyModel::SC;
+        const double base_cycles = static_cast<double>(
+            measure(*pt.wl, base_cfg).cycles);
+
+        harness::SystemConfig cfg = base_cfg;
+        cfg.withSpeculation();
+        isa::Program prog = pt.wl->build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        if (!sys.run())
+            fatal("'", pt.label, "' did not terminate");
+        std::string error;
+        if (!pt.wl->check(sys.memReader(), cfg.num_cores, error))
+            fatal(error);
+
+        std::uint64_t rollbacks = 0, epochs = 0, discarded = 0;
+        std::uint64_t insts = sys.totalInstructions();
+        for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+            auto *ctrl = sys.specController(c);
+            rollbacks += ctrl->rollbacks();
+            epochs += ctrl->epochsStarted();
+            discarded += ctrl->statGroup().scalarCount(
+                "discarded_insts");
+        }
+        table.addRow(
+            {pt.label,
+             harness::fmt(1000.0 * rollbacks / insts, 3),
+             harness::fmt(100.0 * discarded / (insts + discarded), 2),
+             std::to_string(epochs),
+             harness::fmt(base_cycles
+                          / static_cast<double>(sys.runtimeCycles()))});
+    }
+    table.print(std::cout);
+    std::cout << "\nShape: speedup grows as contention falls (more "
+                 "bins).  At extreme\ncontention the rollback backoff "
+                 "disables speculation (few epochs,\nspeedup ~1); the "
+                 "rollback *rate* peaks at moderate contention where\n"
+                 "speculation keeps trying.\n";
+    return 0;
+}

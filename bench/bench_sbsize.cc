@@ -1,0 +1,75 @@
+/**
+ * @file
+ * F7: sensitivity to store-buffer size.  Baseline models expose the
+ * drain at ordering points, so a bigger buffer mostly shifts *where*
+ * the stall happens; speculation converts those stalls into overlap,
+ * flattening the curve.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "workload/microbench.hh"
+
+using namespace fenceless;
+using namespace fenceless::bench;
+
+int
+main()
+{
+    banner("F7", "runtime vs store-buffer size (store-intensive "
+                 "workloads, normalized to 16-entry TSO baseline)");
+
+    const unsigned sizes[] = {2, 4, 8, 16, 32};
+
+    workload::LocalLockStream::Params deep;
+    deep.iters = 96;
+    deep.stream_stores = 8;
+    workload::WorkloadPtr wls[] = {
+        std::make_unique<workload::LocalLockStream>(deep),
+        std::make_unique<workload::ProdCons>(),
+    };
+
+    for (auto &wl : wls) {
+        std::cout << "-- " << wl->name() << " --\n";
+        std::vector<std::string> headers{"config"};
+        for (unsigned s : sizes)
+            headers.push_back("sb=" + std::to_string(s));
+        harness::Table table(std::move(headers));
+
+        // Reference: TSO baseline with 16 entries.
+        double ref = 0;
+        {
+            harness::SystemConfig cfg = defaultConfig();
+            cfg.model = cpu::ConsistencyModel::TSO;
+            cfg.sb_size = 16;
+            ref = static_cast<double>(measure(*wl, cfg).cycles);
+        }
+
+        for (auto model : {cpu::ConsistencyModel::SC,
+                           cpu::ConsistencyModel::TSO}) {
+            for (bool speculative : {false, true}) {
+                std::vector<std::string> row{
+                    std::string(speculative ? "IF-" : "")
+                    + consistencyModelName(model)};
+                for (unsigned s : sizes) {
+                    harness::SystemConfig cfg = defaultConfig();
+                    cfg.model = model;
+                    cfg.sb_size = s;
+                    if (speculative)
+                        cfg.withSpeculation();
+                    const double cycles = static_cast<double>(
+                        measure(*wl, cfg).cycles);
+                    row.push_back(harness::fmt(cycles / ref));
+                }
+                table.addRow(std::move(row));
+            }
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "Shape: baselines remain sensitive to buffer size "
+                 "(stores back up at the\nordering points); the "
+                 "speculative configurations are flat and lowest.\n";
+    return 0;
+}

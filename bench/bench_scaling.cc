@@ -1,0 +1,71 @@
+/**
+ * @file
+ * F9: scalability.  Speedup of fence speculation over the baseline as
+ * the core count grows: conflicts become more likely, but so does the
+ * ordering-stall time the mechanism removes.  The conventional
+ * directory protocol needs no changes at any scale.
+ */
+
+#include <iostream>
+
+#include "bench/bench_common.hh"
+#include "workload/kernels.hh"
+#include "workload/microbench.hh"
+
+using namespace fenceless;
+using namespace fenceless::bench;
+
+int
+main()
+{
+    banner("F9", "IF-SC speedup over SC vs core count");
+
+    const std::uint32_t core_counts[] = {1, 2, 4, 8, 16};
+
+    std::vector<std::string> headers{"workload"};
+    for (auto c : core_counts)
+        headers.push_back(std::to_string(c) + "c");
+    headers.push_back("rollbacks@16c");
+    harness::Table table(std::move(headers));
+
+    workload::WorkloadPtr wls[] = {
+        std::make_unique<workload::LocalLockStream>(),
+        std::make_unique<workload::Stencil2D>(),
+        std::make_unique<workload::SpinlockCrit>(),
+    };
+
+    for (auto &wl : wls) {
+        std::vector<std::string> row{wl->name()};
+        std::uint64_t rollbacks_at_16 = 0;
+        for (std::uint32_t cores : core_counts) {
+            if (cores < wl->minThreads()) {
+                row.push_back("-");
+                continue;
+            }
+            harness::SystemConfig cfg = defaultConfig(cores);
+            cfg.model = cpu::ConsistencyModel::SC;
+            const double base = static_cast<double>(
+                measure(*wl, cfg).cycles);
+
+            cfg.withSpeculation();
+            isa::Program prog = wl->build(cfg.num_cores);
+            harness::System sys(cfg, prog);
+            if (!sys.run())
+                fatal("'", wl->name(), "' did not terminate");
+            std::string error;
+            if (!wl->check(sys.memReader(), cfg.num_cores, error))
+                fatal(error);
+            row.push_back(harness::fmt(
+                base / static_cast<double>(sys.runtimeCycles())));
+            if (cores == 16)
+                rollbacks_at_16 = sys.totalRollbacks();
+        }
+        row.push_back(std::to_string(rollbacks_at_16));
+        table.addRow(std::move(row));
+    }
+    table.print(std::cout);
+    std::cout << "\nShape: the speedup holds (or grows) with core "
+                 "count; rollbacks rise\nwith sharing but stay far "
+                 "cheaper than the stalls removed.\n";
+    return 0;
+}

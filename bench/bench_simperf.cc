@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simulator self-benchmark (google-benchmark): host-side throughput of
+ * the event kernel and of whole-system simulation, in simulated
+ * cycles and instructions per wall second.  Not part of the paper
+ * reconstruction; used to track simulator performance regressions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/system.hh"
+#include "sim/eventq.hh"
+#include "workload/microbench.hh"
+
+using namespace fenceless;
+
+namespace
+{
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    std::uint64_t fired = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 1000; ++i) {
+            sim::scheduleOneShot(eq, eq.curTick() + 1 + (i % 7),
+                                 [&fired] { ++fired; });
+        }
+        eq.run();
+        benchmark::DoNotOptimize(fired);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_EventQueue);
+
+void
+BM_FullSystem(benchmark::State &state)
+{
+    const bool speculative = state.range(0) != 0;
+    std::uint64_t sim_insts = 0;
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        harness::SystemConfig cfg;
+        cfg.num_cores = 4;
+        cfg.model = cpu::ConsistencyModel::TSO;
+        if (speculative)
+            cfg.withSpeculation();
+        workload::SpinlockCrit wl;
+        isa::Program prog = wl.build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        const bool done = sys.run();
+        benchmark::DoNotOptimize(done);
+        sim_insts += sys.totalInstructions();
+        sim_cycles += sys.runtimeCycles();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
+    state.counters["sim_cycles"] =
+        benchmark::Counter(static_cast<double>(sim_cycles),
+                           benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullSystem)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

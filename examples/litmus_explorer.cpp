@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Litmus explorer: run the classic memory-model litmus shapes (store
+ * buffering, message passing, IRIW) under every consistency model,
+ * baseline and with fence speculation, and print the observed outcome
+ * sets.  A compact demonstration that speculation changes performance,
+ * never the allowed outcomes.
+ *
+ *   $ ./litmus_explorer          # all shapes, all models
+ */
+
+#include <iostream>
+
+#include "harness/system.hh"
+#include "workload/litmus.hh"
+
+using namespace fenceless;
+using namespace fenceless::workload;
+
+namespace
+{
+
+void
+show(const LitmusTest &test, cpu::ConsistencyModel model,
+     bool speculative)
+{
+    harness::SystemConfig cfg;
+    cfg.num_cores = 4;
+    cfg.model = model;
+    if (speculative)
+        cfg.withSpeculation();
+    cfg.l1.size = 4 * 1024;
+    cfg.net.latency = 4;
+    cfg.l2.dram_latency = 30;
+
+    auto outcomes = runLitmus(test, cfg, 30, 3);
+
+    std::cout << "  " << consistencyModelName(model)
+              << (speculative ? "+spec" : "     ") << " : ";
+    for (const auto &o : outcomes) {
+        std::cout << "(";
+        for (std::size_t i = 0; i < o.size(); ++i)
+            std::cout << (i ? "," : "") << o[i];
+        std::cout << ") ";
+    }
+    std::cout << "\n";
+}
+
+void
+explore(const LitmusTest &test, const std::string &description)
+{
+    std::cout << "\n" << test.name() << " -- " << description << "\n";
+    for (auto model : {cpu::ConsistencyModel::SC,
+                       cpu::ConsistencyModel::TSO,
+                       cpu::ConsistencyModel::RMO}) {
+        show(test, model, false);
+        show(test, model, true);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Observed litmus outcome sets (over a startup-skew "
+                 "sweep).\nEach configuration lists every (r0,r1,...) "
+                 "combination seen.\n";
+
+    LitmusSB sb(false);
+    explore(sb, "store buffering: T0{X=1;r0=Y} T1{Y=1;r1=X}; "
+                "(0,0) forbidden under SC");
+
+    LitmusSB sbf(true);
+    explore(sbf, "store buffering with full fences; (0,0) forbidden "
+                 "everywhere");
+
+    LitmusMP mp(false);
+    explore(mp, "message passing: T0{data=1;flag=1} "
+                "T1{r0=flag;r1=data}; (1,0) forbidden under SC/TSO");
+
+    LitmusMP mpr(true);
+    explore(mpr, "message passing with a release fence; (1,0) "
+                 "forbidden everywhere");
+
+    LitmusIRIW iriw(true);
+    explore(iriw, "IRIW with fences: readers must agree on the write "
+                  "order ((1,0,1,0) forbidden)");
+
+    LitmusCoRR corr;
+    explore(corr, "coherence read-read: T1{r0=X;r1=X}; (1,0) forbidden "
+                  "under every model");
+
+    Litmus22W w22(false);
+    explore(w22, "2+2W: T0{X=1;Y=2} T1{Y=1;X=2}; final (1,1) forbidden "
+                 "under SC/TSO, reachable under RMO");
+
+    std::cout << "\nNote how the speculative rows show the same "
+                 "outcome sets as their\nbaselines: fence speculation "
+                 "is performance-transparent.\n";
+    return 0;
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Lock scaling study: how spin locks, ticket locks and uncontended
+ * (per-thread) locks scale with core count, with and without fence
+ * speculation.  Shows where the mechanism helps (ordering stalls on
+ * the critical path) and where it cannot (pure lock-handoff
+ * serialization).
+ *
+ *   $ ./lock_scaling
+ */
+
+#include <iostream>
+
+#include "harness/system.hh"
+#include "harness/table.hh"
+#include "workload/microbench.hh"
+
+using namespace fenceless;
+
+namespace
+{
+
+double
+run(workload::Workload &wl, std::uint32_t cores, bool speculative)
+{
+    harness::SystemConfig cfg;
+    cfg.num_cores = cores;
+    cfg.model = cpu::ConsistencyModel::TSO;
+    if (speculative)
+        cfg.withSpeculation();
+
+    isa::Program prog = wl.build(cores);
+    harness::System sys(cfg, prog);
+    if (!sys.run()) {
+        std::cerr << wl.name() << " did not terminate\n";
+        std::exit(1);
+    }
+    std::string error;
+    if (!wl.check(sys.memReader(), cores, error)) {
+        std::cerr << "postcondition failed: " << error << "\n";
+        std::exit(1);
+    }
+    // Normalize to acquisitions per kilocycle across the machine.
+    return static_cast<double>(sys.runtimeCycles());
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint32_t counts[] = {1, 2, 4, 8};
+
+    std::cout << "Lock-section throughput vs core count (TSO; cycles "
+                 "per run,\nlower is better; IF = fence speculation "
+                 "enabled)\n\n";
+
+    struct Entry
+    {
+        const char *label;
+        std::function<workload::WorkloadPtr()> make;
+    };
+
+    const Entry entries[] = {
+        {"spin lock (contended)",
+         [] { return std::make_unique<workload::SpinlockCrit>(); }},
+        {"ticket lock (contended)",
+         [] { return std::make_unique<workload::TicketLockCrit>(); }},
+        {"per-thread locks + streaming stores",
+         [] { return std::make_unique<workload::LocalLockStream>(); }},
+    };
+
+    for (const auto &entry : entries) {
+        std::cout << "-- " << entry.label << " --\n";
+        harness::Table table({"cores", "baseline", "IF", "speedup"});
+        for (std::uint32_t c : counts) {
+            auto wl_base = entry.make();
+            const double base = run(*wl_base, c, false);
+            auto wl_spec = entry.make();
+            const double specd = run(*wl_spec, c, true);
+            table.addRow({std::to_string(c), harness::fmt(base, 0),
+                          harness::fmt(specd, 0),
+                          harness::fmt(base / specd)});
+        }
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+
+    std::cout << "Contended locks are bound by coherence handoff "
+                 "(speculation can't speed\nup the lock transfer "
+                 "itself); uncontended locks with buffered stores "
+                 "show\nthe ordering-stall win directly.\n";
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used by cache indexing and the ISA.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace fenceless
+{
+
+/** @return true if @p v is a (nonzero) power of two. */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** @return floor(log2(v)); @p v must be nonzero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** @return a mask with the low @p n bits set (n may be 0..64). */
+constexpr std::uint64_t
+mask(unsigned n)
+{
+    return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+/** Extract bits [hi:lo] (inclusive) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned hi, unsigned lo)
+{
+    return (v >> lo) & mask(hi - lo + 1);
+}
+
+/** Align @p a down to a multiple of @p align (a power of two). */
+constexpr Addr
+alignDown(Addr a, std::uint64_t align)
+{
+    return a & ~(align - 1);
+}
+
+/** Align @p a up to a multiple of @p align (a power of two). */
+constexpr Addr
+alignUp(Addr a, std::uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** Sign-extend the low @p bits_wide bits of @p v to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t v, unsigned bits_wide)
+{
+    if (bits_wide >= 64)
+        return static_cast<std::int64_t>(v);
+    std::uint64_t m = std::uint64_t{1} << (bits_wide - 1);
+    v &= mask(bits_wide);
+    return static_cast<std::int64_t>((v ^ m) - m);
+}
+
+} // namespace fenceless

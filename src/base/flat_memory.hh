@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A sparse, paged, flat byte-addressable memory.
+ *
+ * Used both as the DRAM backing store of the simulated memory hierarchy
+ * and as the memory of the functional reference executor.  Unwritten
+ * bytes read as zero.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace fenceless
+{
+
+class FlatMemory
+{
+  public:
+    static constexpr std::uint64_t page_size = 4096;
+
+    /** Read @p len bytes at @p addr into @p dst. */
+    void
+    read(Addr addr, void *dst, std::size_t len) const
+    {
+        auto *out = static_cast<std::uint8_t *>(dst);
+        for (std::size_t i = 0; i < len;) {
+            const Addr a = addr + i;
+            const Addr off = a % page_size;
+            const std::size_t chunk =
+                std::min<std::size_t>(len - i, page_size - off);
+            auto it = pages_.find(a / page_size);
+            if (it == pages_.end()) {
+                std::memset(out + i, 0, chunk);
+            } else {
+                std::memcpy(out + i, it->second->data() + off, chunk);
+            }
+            i += chunk;
+        }
+    }
+
+    /** Write @p len bytes from @p src at @p addr. */
+    void
+    write(Addr addr, const void *src, std::size_t len)
+    {
+        const auto *in = static_cast<const std::uint8_t *>(src);
+        for (std::size_t i = 0; i < len;) {
+            const Addr a = addr + i;
+            const Addr off = a % page_size;
+            const std::size_t chunk =
+                std::min<std::size_t>(len - i, page_size - off);
+            std::memcpy(page(a / page_size).data() + off, in + i, chunk);
+            i += chunk;
+        }
+    }
+
+    /** Read an integer of @p size bytes (1/2/4/8), zero-extended. */
+    std::uint64_t
+    readInt(Addr addr, unsigned size) const
+    {
+        flAssert(size == 1 || size == 2 || size == 4 || size == 8,
+                 "bad access size ", size);
+        std::uint64_t v = 0;
+        read(addr, &v, size); // little-endian host assumed
+        return v;
+    }
+
+    /** Write the low @p size bytes of @p value. */
+    void
+    writeInt(Addr addr, unsigned size, std::uint64_t value)
+    {
+        flAssert(size == 1 || size == 2 || size == 4 || size == 8,
+                 "bad access size ", size);
+        write(addr, &value, size);
+    }
+
+    std::uint64_t read64(Addr addr) const { return readInt(addr, 8); }
+    void write64(Addr addr, std::uint64_t v) { writeInt(addr, 8, v); }
+
+    /** Number of resident pages (for tests). */
+    std::size_t numPages() const { return pages_.size(); }
+
+  private:
+    using Page = std::array<std::uint8_t, page_size>;
+
+    Page &
+    page(Addr page_num)
+    {
+        auto &p = pages_[page_num];
+        if (!p) {
+            p = std::make_unique<Page>();
+            p->fill(0);
+        }
+        return *p;
+    }
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace fenceless

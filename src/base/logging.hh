@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 convention.
+ *
+ * panic()  - an internal simulator invariant was broken (a bug in the
+ *            simulator itself).  Aborts so the failure can be debugged.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, impossible parameter combination).
+ * warn()   - something is suspicious but simulation continues.
+ * inform() - purely informational status output.
+ *
+ * All functions build the message by streaming their arguments, so any
+ * type with an operator<< can be passed:
+ *
+ *     panic("bad state ", static_cast<int>(state), " for block ", addr);
+ */
+
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace fenceless
+{
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Report a simulator bug and abort. */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::panicImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report an unrecoverable user error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious condition; simulation continues. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report simulation status. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Check a simulator invariant; panic with a message when it does not hold.
+ * Unlike assert() this is always compiled in: protocol invariants are cheap
+ * relative to event processing and catching them beats silent corruption.
+ */
+template <typename... Args>
+void
+flAssert(bool condition, Args &&...args)
+{
+    if (!condition)
+        panic(std::forward<Args>(args)...);
+}
+
+} // namespace fenceless

@@ -1,0 +1,103 @@
+#include "base/trace.hh"
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace fenceless::trace
+{
+
+namespace
+{
+
+std::uint32_t enabled_mask = 0;
+std::ostream *stream = nullptr;
+
+std::ostream &
+out()
+{
+    return stream ? *stream : std::cout;
+}
+
+} // namespace
+
+const char *
+flagName(Flag f)
+{
+    switch (f) {
+      case Flag::Core: return "core";
+      case Flag::SB: return "sb";
+      case Flag::L1: return "l1";
+      case Flag::Dir: return "dir";
+      case Flag::Net: return "net";
+      case Flag::Spec: return "spec";
+      case Flag::All: return "all";
+    }
+    return "?";
+}
+
+std::uint32_t
+parseFlags(const std::string &spec)
+{
+    std::uint32_t mask = 0;
+    std::string token;
+    std::istringstream is(spec);
+    while (std::getline(is, token, ',')) {
+        if (token.empty())
+            continue;
+        bool found = false;
+        for (Flag f : {Flag::Core, Flag::SB, Flag::L1, Flag::Dir,
+                       Flag::Net, Flag::Spec, Flag::All}) {
+            if (token == flagName(f)) {
+                mask |= static_cast<std::uint32_t>(f);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            fatal("unknown trace flag '", token, "'");
+    }
+    return mask;
+}
+
+void
+setEnabled(std::uint32_t mask)
+{
+    enabled_mask = mask;
+}
+
+std::uint32_t
+enabled()
+{
+    return enabled_mask;
+}
+
+void
+setStream(std::ostream *os)
+{
+    stream = os;
+}
+
+void
+initFromEnv()
+{
+    if (const char *env = std::getenv("FENCELESS_TRACE"))
+        setEnabled(parseFlags(env));
+}
+
+namespace detail
+{
+
+void
+emit(Flag, Tick tick, const std::string &who, const std::string &msg)
+{
+    out() << std::setw(10) << tick << ": " << who << ": " << msg
+          << "\n";
+}
+
+} // namespace detail
+
+} // namespace fenceless::trace

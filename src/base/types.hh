@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fundamental scalar types used throughout the simulator.
+ *
+ * The whole code base is written against these aliases rather than raw
+ * integer types so that the intent of a value (an address, a point in
+ * simulated time, a core number) is visible at every use site.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace fenceless
+{
+
+/** A physical address in the simulated guest address space. */
+using Addr = std::uint64_t;
+
+/** A point in simulated time.  One tick == one core clock cycle. */
+using Tick = std::uint64_t;
+
+/** A duration measured in clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Identifier of a core / hardware thread (0-based, dense). */
+using CoreId = std::uint32_t;
+
+/** Sentinel "end of time" tick. */
+inline constexpr Tick max_tick = std::numeric_limits<Tick>::max();
+
+/** Sentinel invalid address. */
+inline constexpr Addr invalid_addr = std::numeric_limits<Addr>::max();
+
+/** Sentinel invalid core id (used e.g. for "no owner" in the directory). */
+inline constexpr CoreId invalid_core = std::numeric_limits<CoreId>::max();
+
+} // namespace fenceless

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memory consistency models and their baseline ordering requirements.
+ *
+ * The in-order core completes loads before later instructions execute, so
+ * load->load and load->store order is implicit.  The models therefore
+ * differ only in how stores (via the store buffer), fences and atomics
+ * are handled:
+ *
+ *  SC:   a load (or AMO) may not issue while the store buffer is
+ *        non-empty; this is the classic "stores complete before the next
+ *        memory operation becomes visible" implementation.  Explicit
+ *        fences are no-ops (ordering is already total).
+ *  TSO:  loads bypass (and forward from) the store buffer; the buffer
+ *        drains strictly in order.  Full fences and atomics drain the
+ *        buffer.  Acquire/release fences are free.
+ *  RMO:  like TSO, but the store buffer may drain out of order (and a
+ *        release fence inserts an ordering marker instead of stalling);
+ *        atomics wait only for buffered stores to the same address.
+ *
+ * These are exactly the stalls the fence-speculation mechanism removes.
+ */
+
+#pragma once
+
+#include <string>
+
+namespace fenceless::cpu
+{
+
+enum class ConsistencyModel
+{
+    SC,
+    TSO,
+    RMO,
+};
+
+const char *consistencyModelName(ConsistencyModel m);
+
+/** Parse "sc" / "tso" / "rmo" (case-insensitive). */
+ConsistencyModel parseConsistencyModel(const std::string &name);
+
+/** Baseline ordering requirements of a model. */
+struct ModelPolicy
+{
+    /** Loads (and the load half of AMOs) wait for an empty SB. */
+    static bool
+    loadNeedsSbEmpty(ConsistencyModel m)
+    {
+        return m == ConsistencyModel::SC;
+    }
+
+    /** A full fence stalls until the SB drains. */
+    static bool
+    fullFenceDrains(ConsistencyModel m)
+    {
+        // Under SC the ordering a full fence asks for already holds.
+        return m != ConsistencyModel::SC;
+    }
+
+    /** A release fence inserts an SB ordering marker (no core stall). */
+    static bool
+    releaseFenceMarks(ConsistencyModel m)
+    {
+        return m == ConsistencyModel::RMO;
+    }
+
+    /** An atomic stalls until the whole SB drains. */
+    static bool
+    amoDrainsSb(ConsistencyModel m)
+    {
+        return m == ConsistencyModel::SC || m == ConsistencyModel::TSO;
+    }
+
+    /** The SB drains strictly in program order. */
+    static bool
+    sbDrainsInOrder(ConsistencyModel m)
+    {
+        return m != ConsistencyModel::RMO;
+    }
+};
+
+} // namespace fenceless::cpu

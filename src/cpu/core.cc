@@ -1,0 +1,485 @@
+#include "cpu/core.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+#include "mem/mem_request.hh"
+
+namespace fenceless::cpu
+{
+
+using isa::Inst;
+using isa::Op;
+
+const char *
+consistencyModelName(ConsistencyModel m)
+{
+    switch (m) {
+      case ConsistencyModel::SC: return "SC";
+      case ConsistencyModel::TSO: return "TSO";
+      case ConsistencyModel::RMO: return "RMO";
+    }
+    return "?";
+}
+
+ConsistencyModel
+parseConsistencyModel(const std::string &name)
+{
+    std::string lower;
+    for (char c : name)
+        lower += static_cast<char>(std::tolower(c));
+    if (lower == "sc")
+        return ConsistencyModel::SC;
+    if (lower == "tso")
+        return ConsistencyModel::TSO;
+    if (lower == "rmo")
+        return ConsistencyModel::RMO;
+    fatal("unknown consistency model '", name, "'");
+}
+
+const char *
+stallReasonName(StallReason r)
+{
+    switch (r) {
+      case StallReason::ScLoadOrder: return "sc_load_order";
+      case StallReason::FenceDrain: return "fence_drain";
+      case StallReason::AmoOrder: return "amo_order";
+      case StallReason::AmoData: return "amo_data";
+      case StallReason::SbFull: return "sb_full";
+      case StallReason::LoadAccess: return "load_access";
+      case StallReason::AmoAccess: return "amo_access";
+      case StallReason::FwdConflict: return "fwd_conflict";
+      case StallReason::HaltDrain: return "halt_drain";
+      case StallReason::SpecLimit: return "spec_limit";
+      case StallReason::NumReasons: break;
+    }
+    return "?";
+}
+
+Core::Core(sim::SimContext &ctx, const std::string &name,
+           const Params &params, CoreId core_id, const isa::Program &prog,
+           mem::L1Cache &l1, std::uint32_t num_cores)
+    : SimObject(ctx, name), params_(params), core_id_(core_id),
+      prog_(prog), l1_(l1), num_cores_(num_cores),
+      sb_(ctx, statGroup(),
+          StoreBuffer::Params{params.sb_size,
+                              ModelPolicy::sbDrainsInOrder(params.model),
+                              params.sb_max_inflight,
+                              params.sb_prefetch_depth},
+          l1),
+      tick_event_([this] { tick(); }, name + ".tick"),
+      stat_instructions_(statGroup().addScalar("instructions",
+                                               "instructions retired")),
+      stat_loads_(statGroup().addScalar("loads", "loads executed")),
+      stat_stores_(statGroup().addScalar("stores", "stores executed")),
+      stat_amos_(statGroup().addScalar("amos", "atomics executed")),
+      stat_fences_full_(statGroup().addScalar("fences_full",
+                                              "full fences executed")),
+      stat_fences_acq_(statGroup().addScalar("fences_acquire",
+                                             "acquire fences executed")),
+      stat_fences_rel_(statGroup().addScalar("fences_release",
+                                             "release fences executed")),
+      stat_halt_tick_(statGroup().addScalar("halt_tick",
+                                            "cycle the core halted")),
+      stat_load_latency_(statGroup().addDistribution("load_latency",
+          "cycles from load issue to writeback (cache path only)"))
+{
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(StallReason::NumReasons); ++i) {
+        stat_stalls_[i] = &statGroup().addScalar(
+            std::string("stall_") +
+                stallReasonName(static_cast<StallReason>(i)),
+            "cycles stalled: " +
+                std::string(stallReasonName(static_cast<StallReason>(i))));
+    }
+    statGroup().addFormula("ipc", "instructions per cycle up to halt",
+                           [this] {
+                               const auto cycles =
+                                   stat_halt_tick_.count();
+                               return cycles ? stat_instructions_.value()
+                                                   / cycles
+                                             : 0.0;
+                           });
+}
+
+Core::~Core()
+{
+    if (tick_event_.scheduled())
+        eventq().deschedule(&tick_event_);
+}
+
+void
+Core::reset()
+{
+    regs_.fill(0);
+    regs_[isa::tp] = core_id_;
+    pc_ = 0;
+    instret_ = 0;
+    halted_ = false;
+    scheduleTick(1);
+}
+
+void
+Core::setReg(isa::RegId r, std::uint64_t v)
+{
+    if (r != 0)
+        regs_[r] = v;
+}
+
+void
+Core::scheduleTick(Cycles delay)
+{
+    if (!tick_event_.scheduled())
+        scheduleIn(&tick_event_, delay);
+}
+
+void
+Core::advance(std::uint64_t next_pc, Cycles delay)
+{
+    pc_ = next_pc;
+    ++instret_;
+    ++stat_instructions_;
+    scheduleTick(delay);
+}
+
+void
+Core::accountStall(StallReason reason, Tick begin)
+{
+    *stat_stalls_[static_cast<std::size_t>(reason)] += curTick() - begin;
+}
+
+std::function<void()>
+Core::resumer(StallReason reason)
+{
+    return [this, reason, begin = curTick(), gen = squash_gen_] {
+        if (gen != squash_gen_)
+            return; // stale: the core was squashed meanwhile
+        accountStall(reason, begin);
+        scheduleTick(1);
+    };
+}
+
+Core::ArchSnapshot
+Core::snapshot() const
+{
+    return ArchSnapshot{regs_, pc_, instret_};
+}
+
+void
+Core::restoreAndResume(const ArchSnapshot &snap)
+{
+    FL_TRACE(trace::Flag::Core, *this, "squash: pc ", pc_, " -> ",
+             snap.pc, " (", instret_ - snap.instret,
+             " insts discarded)");
+    ++squash_gen_;
+    amo_in_flight_ = false;
+    regs_ = snap.regs;
+    pc_ = snap.pc;
+    stat_instructions_ = snap.instret; // discard wrong-path retirement
+    instret_ = snap.instret;
+    sb_.clearWaiters();
+    if (tick_event_.scheduled())
+        eventq().deschedule(&tick_event_);
+    flAssert(!halted_, name(), ": rollback after halt");
+    scheduleTick(1);
+}
+
+// ---------------------------------------------------------------------
+// the pipeline
+// ---------------------------------------------------------------------
+
+void
+Core::tick()
+{
+    if (halted_)
+        return;
+    flAssert(pc_ < prog_.code.size(), name(), ": pc ", pc_,
+             " out of range");
+    const Inst &inst = prog_.code[pc_];
+
+    switch (inst.op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Sll: case Op::Srl: case Op::Sra: case Op::Slt:
+      case Op::Sltu: case Op::Mul: case Op::Divu: case Op::Remu:
+        setReg(inst.rd, isa::aluOp(inst.op, reg(inst.rs1),
+                                   reg(inst.rs2)));
+        advance(pc_ + 1);
+        break;
+
+      case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
+      case Op::Slli: case Op::Srli: case Op::Srai: case Op::Slti:
+      case Op::Sltiu:
+        setReg(inst.rd, isa::aluOp(inst.op, reg(inst.rs1),
+                                   static_cast<std::uint64_t>(inst.imm)));
+        advance(pc_ + 1);
+        break;
+
+      case Op::Li:
+        setReg(inst.rd, static_cast<std::uint64_t>(inst.imm));
+        advance(pc_ + 1);
+        break;
+
+      case Op::Load:
+        executeLoad(inst);
+        break;
+      case Op::Store:
+        executeStore(inst);
+        break;
+      case Op::AmoSwap: case Op::AmoAdd: case Op::AmoCas:
+        executeAmo(inst);
+        break;
+      case Op::Fence:
+        executeFence(inst);
+        break;
+
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        advance(isa::branchTaken(inst.op, reg(inst.rs1), reg(inst.rs2))
+                ? static_cast<std::uint64_t>(inst.imm) : pc_ + 1);
+        break;
+
+      case Op::Jal:
+        setReg(inst.rd, pc_ + 1);
+        advance(static_cast<std::uint64_t>(inst.imm));
+        break;
+
+      case Op::Jalr: {
+        const std::uint64_t target = reg(inst.rs1) + inst.imm;
+        setReg(inst.rd, pc_ + 1);
+        advance(target);
+        break;
+      }
+
+      case Op::CsrRead:
+        switch (inst.csr) {
+          case isa::Csr::Tid:
+            setReg(inst.rd, core_id_);
+            break;
+          case isa::Csr::NumCores:
+            setReg(inst.rd, num_cores_);
+            break;
+          case isa::Csr::Cycle:
+            setReg(inst.rd, curTick());
+            break;
+          case isa::Csr::InstRet:
+            setReg(inst.rd, instret_);
+            break;
+        }
+        advance(pc_ + 1);
+        break;
+
+      case Op::Halt:
+        executeHalt();
+        break;
+
+      case Op::Nop:
+        advance(pc_ + 1);
+        break;
+      case Op::Pause:
+        advance(pc_ + 1, params_.pause_cycles);
+        break;
+    }
+}
+
+void
+Core::executeLoad(const Inst &inst)
+{
+    const Addr addr = reg(inst.rs1) + inst.imm;
+    flAssert(addr % inst.size == 0, name(), ": misaligned load @0x",
+             std::hex, addr);
+
+    bool spec_now = spec_ && spec_->inSpec();
+
+    // SC: a load may not issue while stores are buffered -- unless the
+    // speculation controller lets us proceed past the ordering point.
+    // Inside an epoch the controller extends its commit watermark on
+    // every such crossing: SC requires all earlier stores to be ordered
+    // before this load, so the epoch may not commit until they drain.
+    if (ModelPolicy::loadNeedsSbEmpty(params_.model) && !sb_.empty()) {
+        if (spec_ &&
+            spec_->shouldSpeculate(SpecInterface::OrderPoint::ScLoad)) {
+            spec_now = true;
+        } else {
+            sb_.whenEmpty(resumer(StallReason::ScLoadOrder));
+            return;
+        }
+    }
+
+    if (spec_now && !spec_->reserveSpecSlot(false)) {
+        spec_->whenSpecExit(resumer(StallReason::SpecLimit));
+        return;
+    }
+
+    // Store-buffer forwarding.
+    std::uint64_t fwd_value = 0;
+    switch (sb_.forward(addr, inst.size, fwd_value)) {
+      case StoreBuffer::Fwd::Hit:
+        ++stat_loads_;
+        setReg(inst.rd, fwd_value);
+        advance(pc_ + 1);
+        return;
+      case StoreBuffer::Fwd::Conflict:
+        sb_.whenNoOverlap(addr, inst.size,
+                          resumer(StallReason::FwdConflict));
+        return;
+      case StoreBuffer::Fwd::None:
+        break;
+    }
+
+    ++stat_loads_;
+    mem::MemRequest req;
+    req.op = mem::MemOp::Load;
+    req.addr = addr;
+    req.size = inst.size;
+    req.spec = spec_now;
+    req.spec_epoch = spec_now ? spec_->epoch() : 0;
+    req.callback = [this, rd = inst.rd, gen = squash_gen_,
+                    begin = curTick()](std::uint64_t value) {
+        if (gen != squash_gen_)
+            return;
+        accountStall(StallReason::LoadAccess, begin);
+        stat_load_latency_.sample(
+            static_cast<double>(curTick() - begin));
+        setReg(rd, value);
+        advance(pc_ + 1);
+    };
+    l1_.access(std::move(req));
+}
+
+void
+Core::executeStore(const Inst &inst)
+{
+    const Addr addr = reg(inst.rs1) + inst.imm;
+    flAssert(addr % inst.size == 0, name(), ": misaligned store @0x",
+             std::hex, addr);
+
+    if (sb_.full()) {
+        sb_.whenSpace(resumer(StallReason::SbFull));
+        return;
+    }
+
+    const bool spec_now = spec_ && spec_->inSpec();
+    if (spec_now && !spec_->reserveSpecSlot(true)) {
+        spec_->whenSpecExit(resumer(StallReason::SpecLimit));
+        return;
+    }
+    sb_.push(addr, inst.size, reg(inst.rs2), spec_now,
+             spec_now ? spec_->epoch() : 0);
+    ++stat_stores_;
+    advance(pc_ + 1);
+}
+
+void
+Core::executeAmo(const Inst &inst)
+{
+    const Addr addr = reg(inst.rs1);
+    flAssert(addr % inst.size == 0, name(), ": misaligned AMO @0x",
+             std::hex, addr);
+
+    // Value dependency: a buffered store to the same bytes must reach
+    // the cache before the read-modify-write, regardless of model or
+    // speculation.
+    if (sb_.hasOverlap(addr, inst.size)) {
+        sb_.whenNoOverlap(addr, inst.size, resumer(StallReason::AmoData));
+        return;
+    }
+
+    bool spec_now = spec_ && spec_->inSpec();
+
+    // Ordering: SC/TSO atomics drain the whole buffer first (inside an
+    // epoch the crossing extends the commit watermark instead).
+    if (ModelPolicy::amoDrainsSb(params_.model) && !sb_.empty()) {
+        if (spec_ &&
+            spec_->shouldSpeculate(SpecInterface::OrderPoint::Amo)) {
+            spec_now = true;
+        } else {
+            sb_.whenEmpty(resumer(StallReason::AmoOrder));
+            return;
+        }
+    }
+
+    if (spec_now && !(spec_->reserveSpecSlot(true) &&
+                      spec_->reserveSpecSlot(false))) {
+        spec_->whenSpecExit(resumer(StallReason::SpecLimit));
+        return;
+    }
+
+    ++stat_amos_;
+    amo_in_flight_ = true;
+    mem::MemRequest req;
+    req.op = mem::MemOp::Amo;
+    req.addr = addr;
+    req.size = inst.size;
+    req.spec = spec_now;
+    req.spec_epoch = spec_now ? spec_->epoch() : 0;
+    req.amo_func = [inst, rs2 = reg(inst.rs2),
+                    rs3 = reg(inst.rs3)](std::uint64_t old_value) {
+        return isa::amoApply(inst, old_value, rs2, rs3);
+    };
+    req.callback = [this, rd = inst.rd, gen = squash_gen_,
+                    begin = curTick()](std::uint64_t old_value) {
+        if (gen != squash_gen_)
+            return;
+        amo_in_flight_ = false;
+        accountStall(StallReason::AmoAccess, begin);
+        setReg(rd, old_value);
+        advance(pc_ + 1);
+    };
+    l1_.access(std::move(req));
+}
+
+void
+Core::executeFence(const Inst &inst)
+{
+    switch (inst.fence) {
+      case isa::FenceKind::Full:
+        ++stat_fences_full_;
+        if (ModelPolicy::fullFenceDrains(params_.model) && !sb_.empty()) {
+            // shouldSpeculate() either opens an epoch, extends the
+            // commit watermark of the current one, or declines (stall).
+            if (!(spec_ && spec_->shouldSpeculate(
+                      SpecInterface::OrderPoint::FullFence))) {
+                sb_.whenEmpty(resumer(StallReason::FenceDrain));
+                return;
+            }
+        }
+        advance(pc_ + 1);
+        break;
+
+      case isa::FenceKind::Acquire:
+        // Free on an in-order core: the acquiring load/AMO completed
+        // before this instruction executes.
+        ++stat_fences_acq_;
+        advance(pc_ + 1);
+        break;
+
+      case isa::FenceKind::Release:
+        ++stat_fences_rel_;
+        if (ModelPolicy::releaseFenceMarks(params_.model))
+            sb_.pushBarrier();
+        advance(pc_ + 1);
+        break;
+    }
+}
+
+void
+Core::executeHalt()
+{
+    if (!sb_.empty()) {
+        sb_.whenEmpty(resumer(StallReason::HaltDrain));
+        return;
+    }
+    if (spec_ && spec_->inSpec()) {
+        spec_->requestStop(resumer(StallReason::HaltDrain));
+        return;
+    }
+    ++instret_;
+    ++stat_instructions_;
+    halted_ = true;
+    stat_halt_tick_ = curTick();
+    if (halt_cb_)
+        halt_cb_();
+}
+
+} // namespace fenceless::cpu

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The in-order timing core.
+ *
+ * One instruction per cycle when nothing stalls.  Loads block until the
+ * L1 responds (or forward from the store buffer); stores retire into the
+ * store buffer; atomics execute at the L1 after their ordering
+ * requirement is met; fences behave per the consistency model.
+ *
+ * Every point where the baseline model would stall for *ordering* (an SC
+ * load with buffered stores, a draining fence, an atomic's buffer drain)
+ * is first offered to the speculation controller, which may let the core
+ * proceed speculatively instead.  The controller can snapshot and
+ * restore the core's architectural state; in-flight memory responses
+ * from before a restore are ignored via a squash generation counter.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "cpu/consistency.hh"
+#include "cpu/store_buffer.hh"
+#include "isa/program.hh"
+#include "mem/l1_cache.hh"
+#include "sim/sim_object.hh"
+
+namespace fenceless::cpu
+{
+
+/** Why the core is not executing this cycle (for stall accounting). */
+enum class StallReason
+{
+    ScLoadOrder, //!< SC: load waiting for the store buffer to drain
+    FenceDrain,  //!< full fence waiting for the store buffer to drain
+    AmoOrder,    //!< atomic waiting for its ordering requirement
+    AmoData,     //!< atomic waiting for an overlapping buffered store
+    SbFull,      //!< store waiting for a store-buffer slot
+    LoadAccess,  //!< load waiting for the memory system
+    AmoAccess,   //!< atomic executing at the L1
+    FwdConflict, //!< load partially overlapping a buffered store
+    HaltDrain,   //!< halt waiting for drain / speculation exit
+    SpecLimit,   //!< per-store-granularity speculative storage exhausted
+    NumReasons,
+};
+
+const char *stallReasonName(StallReason r);
+
+/**
+ * The core's view of the speculation controller.  A null controller
+ * means baseline (no speculation): every ordering point stalls.
+ */
+class SpecInterface
+{
+  public:
+    /** The kind of ordering point the core is about to stall on. */
+    enum class OrderPoint
+    {
+        ScLoad,
+        FullFence,
+        Amo,
+    };
+
+    virtual ~SpecInterface() = default;
+
+    /**
+     * Called when an ordering requirement is unsatisfied.  If the
+     * controller is already speculating it records the crossing
+     * (advancing its commit watermark) and returns true; otherwise it
+     * may begin an epoch (checkpointing the core) and return true, or
+     * return false to make the core stall as in the baseline.
+     */
+    virtual bool shouldSpeculate(OrderPoint point) = 0;
+
+    /** @return true while the core runs inside a speculative epoch. */
+    virtual bool inSpec() const = 0;
+
+    /** @return the current epoch id (tags accesses). */
+    virtual std::uint32_t epoch() const = 0;
+
+    /**
+     * The core reached Halt while speculating: commit as soon as the
+     * commit condition allows, do not open another epoch, then invoke
+     * @p done.  A rollback in between cancels the request (the core
+     * re-executes and will re-request).
+     */
+    virtual void requestStop(std::function<void()> done) = 0;
+
+    /**
+     * Reserve speculative-storage capacity for one access of the
+     * current epoch.  Always succeeds at block granularity (the tags
+     * live in the cache); at per-store granularity it fails once the
+     * bounded speculative store queue / load CAM is full, and the core
+     * must stall until the epoch ends.
+     */
+    virtual bool reserveSpecSlot(bool is_store) = 0;
+
+    /** Run @p cb once when the current epoch commits or rolls back. */
+    virtual void whenSpecExit(std::function<void()> cb) = 0;
+};
+
+class Core : public sim::SimObject
+{
+  public:
+    struct Params
+    {
+        ConsistencyModel model = ConsistencyModel::TSO;
+        unsigned sb_size = 16;
+        unsigned sb_max_inflight = 4;    //!< relaxed-drain overlap
+        unsigned sb_prefetch_depth = 4;  //!< ownership-prefetch window
+        Cycles pause_cycles = 1;
+    };
+
+    Core(sim::SimContext &ctx, const std::string &name,
+         const Params &params, CoreId core_id, const isa::Program &prog,
+         mem::L1Cache &l1, std::uint32_t num_cores);
+
+    /** Deschedules the tick event (the queue may outlive the core). */
+    ~Core() override;
+
+    void setSpec(SpecInterface *spec) { spec_ = spec; }
+
+    /** Initialise architectural state and schedule the first cycle. */
+    void reset();
+
+    bool halted() const { return halted_; }
+    void setHaltCallback(std::function<void()> cb)
+    {
+        halt_cb_ = std::move(cb);
+    }
+
+    CoreId coreId() const { return core_id_; }
+    ConsistencyModel model() const { return params_.model; }
+    StoreBuffer &storeBuffer() { return sb_; }
+    mem::L1Cache &l1() { return l1_; }
+    std::uint64_t instret() const { return instret_; }
+
+    /** Current program counter (instruction index), for debugging. */
+    std::uint64_t pc() const { return pc_; }
+
+    std::uint64_t
+    reg(isa::RegId r) const
+    {
+        return r == 0 ? 0 : regs_[r];
+    }
+
+    // --- speculation-controller API -------------------------------------
+
+    /** A register-file checkpoint. */
+    struct ArchSnapshot
+    {
+        std::array<std::uint64_t, isa::num_regs> regs;
+        std::uint64_t pc;
+        std::uint64_t instret;
+    };
+
+    ArchSnapshot snapshot() const;
+
+    /**
+     * @return true while an atomic is executing at the L1.  A
+     * checkpoint taken in that window would re-execute the (non-
+     * idempotent) atomic after a rollback, so the controller must not
+     * open an epoch then.
+     */
+    bool amoInFlight() const { return amo_in_flight_; }
+
+    /**
+     * Restore a checkpoint and resume execution next cycle.  All
+     * in-flight memory responses and stall waiters become stale.
+     */
+    void restoreAndResume(const ArchSnapshot &snap);
+
+  private:
+    void tick();
+    void scheduleTick(Cycles delay);
+
+    /**
+     * Enter a wait: account cycles under @p reason until the resume
+     * callback produced by @ref resumer fires.
+     */
+    std::function<void()> resumer(StallReason reason);
+
+    void executeLoad(const isa::Inst &inst);
+    void executeStore(const isa::Inst &inst);
+    void executeAmo(const isa::Inst &inst);
+    void executeFence(const isa::Inst &inst);
+    void executeHalt();
+
+    void setReg(isa::RegId r, std::uint64_t v);
+    void advance(std::uint64_t next_pc, Cycles delay = 1);
+    void accountStall(StallReason reason, Tick begin);
+
+    Params params_;
+    CoreId core_id_;
+    const isa::Program &prog_;
+    mem::L1Cache &l1_;
+    std::uint32_t num_cores_;
+    SpecInterface *spec_ = nullptr;
+
+    StoreBuffer sb_;
+
+    std::array<std::uint64_t, isa::num_regs> regs_{};
+    std::uint64_t pc_ = 0;
+    std::uint64_t instret_ = 0;
+    bool halted_ = false;
+    std::uint64_t squash_gen_ = 0; //!< invalidates in-flight callbacks
+    bool amo_in_flight_ = false;
+
+    sim::EventFunctionWrapper tick_event_;
+    std::function<void()> halt_cb_;
+
+    statistics::Scalar &stat_instructions_;
+    statistics::Scalar &stat_loads_;
+    statistics::Scalar &stat_stores_;
+    statistics::Scalar &stat_amos_;
+    statistics::Scalar &stat_fences_full_;
+    statistics::Scalar &stat_fences_acq_;
+    statistics::Scalar &stat_fences_rel_;
+    statistics::Scalar &stat_halt_tick_;
+    std::array<statistics::Scalar *,
+               static_cast<std::size_t>(StallReason::NumReasons)>
+        stat_stalls_{};
+    statistics::Distribution &stat_load_latency_;
+};
+
+} // namespace fenceless::cpu

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * The post-retirement store buffer.
+ *
+ * Stores retire into the buffer and drain to the L1 one at a time.  The
+ * drain order is strict program order (SC/TSO) or relaxed (RMO): any
+ * entry of the oldest barrier group with no older overlapping entry may
+ * drain.  Release fences insert barrier-group boundaries under RMO.
+ *
+ * Entries are tagged with a monotonically increasing sequence number;
+ * the speculation controller uses these to express its commit condition
+ * ("all entries up to the watermark have drained") and to discard
+ * speculative entries on rollback.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "mem/l1_cache.hh"
+#include "sim/sim_object.hh"
+
+namespace fenceless::cpu
+{
+
+class StoreBuffer
+{
+  public:
+    struct Params
+    {
+        unsigned size = 16;
+        bool drain_in_order = true;
+        /**
+         * Maximum concurrently outstanding drain stores.  In-order
+         * drain is limited to 1 (completion order must equal program
+         * order); relaxed drain overlaps several so a hitting store can
+         * complete while an older miss is still fetching ownership.
+         */
+        unsigned max_inflight = 4;
+        /**
+         * How many buffered stores beyond the drain point get
+         * non-binding exclusive-ownership prefetches.  This is how a
+         * TSO machine overlaps store misses while still committing
+         * writes in order.
+         */
+        unsigned prefetch_depth = 4;
+    };
+
+    struct Entry
+    {
+        std::uint64_t seq;
+        Addr addr;
+        std::uint8_t size;
+        std::uint64_t data;
+        bool spec;
+        std::uint32_t spec_epoch;
+        std::uint32_t barrier_group;
+        bool issued = false;
+        bool prefetched = false; //!< ownership prefetch already sent
+    };
+
+    /** Result of a load looking for forwarding. */
+    enum class Fwd
+    {
+        None,     //!< no overlapping entry; go to the cache
+        Hit,      //!< fully forwarded
+        Conflict, //!< partial overlap; must wait for the entry to drain
+    };
+
+    StoreBuffer(sim::SimContext &ctx, statistics::StatGroup &stats,
+                const Params &params, mem::L1Cache &l1);
+
+    // --- status --------------------------------------------------------
+
+    bool empty() const { return entries_.empty(); }
+    bool full() const { return entries_.size() >= params_.size; }
+    std::size_t occupancy() const { return entries_.size(); }
+    unsigned capacity() const { return params_.size; }
+
+    /** Sequence number of the most recently pushed entry (0 if none). */
+    std::uint64_t lastSeq() const { return next_seq_ - 1; }
+
+    /** @return true when no entry with seq <= @p watermark remains. */
+    bool allDrainedUpTo(std::uint64_t watermark) const;
+
+    /** @return true if any entry overlaps [addr, addr+size). */
+    bool hasOverlap(Addr addr, unsigned size) const;
+
+    // --- core-side operations -------------------------------------------
+
+    /** Retire a store into the buffer (must not be full). */
+    std::uint64_t push(Addr addr, std::uint8_t size, std::uint64_t data,
+                       bool spec, std::uint32_t spec_epoch);
+
+    /** Insert a release-fence ordering marker (RMO). */
+    void pushBarrier();
+
+    /** Attempt to forward a load from the buffer. */
+    Fwd forward(Addr addr, unsigned size, std::uint64_t &out);
+
+    // --- notifications ---------------------------------------------------
+
+    /** Invoked after every entry completes (the spec controller). */
+    void setDrainListener(std::function<void()> fn)
+    {
+        drain_listener_ = std::move(fn);
+    }
+
+    /** Run @p cb (once) when the buffer is empty. */
+    void whenEmpty(std::function<void()> cb);
+
+    /** Run @p cb (once) when a slot is available. */
+    void whenSpace(std::function<void()> cb);
+
+    /** Run @p cb (once) when nothing overlaps [addr, addr+size). */
+    void whenNoOverlap(Addr addr, unsigned size,
+                       std::function<void()> cb);
+
+    /** Drop all one-shot waiters (used when the core squashes). */
+    void clearWaiters() { waiters_.clear(); }
+
+    // --- speculation support ---------------------------------------------
+
+    /**
+     * Discard (speculative) entries with seq > @p keep_up_to.  An entry
+     * already issued to the cache completes there as a stale-epoch
+     * no-op; its completion is ignored here.
+     */
+    void discardAfter(std::uint64_t keep_up_to);
+
+    /**
+     * The epoch committed: remaining speculative entries become ordinary
+     * stores (their epoch tag would otherwise be stale when they drain).
+     */
+    void commitSpec();
+
+  private:
+    struct Waiter
+    {
+        enum class Kind
+        {
+            Empty,
+            Space,
+            NoOverlap,
+        };
+
+        Kind kind;
+        Addr addr = 0;
+        unsigned size = 0;
+        std::function<void()> cb;
+    };
+
+    void issueNext();
+    void issuePrefetches();
+    void scheduleRetry();
+    void complete(std::uint64_t seq);
+    void fireWaiters();
+    Entry *pickEligible();
+
+    static bool
+    overlaps(Addr a1, unsigned s1, Addr a2, unsigned s2)
+    {
+        return a1 < a2 + s2 && a2 < a1 + s1;
+    }
+
+    sim::SimContext &ctx_;
+    Params params_;
+    mem::L1Cache &l1_;
+
+    std::deque<Entry> entries_;
+    std::uint64_t next_seq_ = 1;
+    std::uint32_t barrier_group_ = 0;
+    std::vector<std::uint64_t> inflight_; //!< seqs of issued drains
+    bool retry_pending_ = false; //!< MSHR-pressure retry scheduled
+
+    std::function<void()> drain_listener_;
+    std::vector<Waiter> waiters_;
+
+    statistics::Scalar &stat_pushed_;
+    statistics::Scalar &stat_drained_;
+    statistics::Scalar &stat_barriers_;
+    statistics::Scalar &stat_discarded_;
+    statistics::Scalar &stat_fwd_hits_;
+    statistics::Scalar &stat_fwd_conflicts_;
+    statistics::Distribution &stat_occupancy_;
+};
+
+} // namespace fenceless::cpu

@@ -1,0 +1,154 @@
+#include "harness/options.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "base/logging.hh"
+
+namespace fenceless::harness
+{
+
+namespace
+{
+
+const char *known_options[] = {
+    "cores", "model", "spec", "granularity", "overflow", "sb-size",
+    "l1-kb", "l2-kb", "dram-latency", "net-latency", "scale", "seed",
+    "csv", "help",
+};
+
+bool
+isKnown(const std::string &name)
+{
+    for (const char *k : known_options) {
+        if (name == k)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+Options::Options(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected argument '", arg,
+                  "' (only --option[=value] is supported)");
+        arg = arg.substr(2);
+        std::string name = arg;
+        std::string value = "1";
+        if (auto eq = arg.find('='); eq != std::string::npos) {
+            name = arg.substr(0, eq);
+            value = arg.substr(eq + 1);
+        }
+        if (!isKnown(name))
+            fatal("unknown option '--", name, "' (try --help)");
+        values_[name] = value;
+    }
+
+    if (has("help")) {
+        printUsage(argv[0] ? argv[0] : "binary");
+        std::exit(0);
+    }
+    csv_ = has("csv");
+    scale_ = static_cast<unsigned>(getInt("scale", 1));
+    seed_ = getInt("seed", 42);
+}
+
+std::string
+Options::get(const std::string &name) const
+{
+    auto it = values_.find(name);
+    return it == values_.end() ? "" : it->second;
+}
+
+std::uint64_t
+Options::getInt(const std::string &name, std::uint64_t fallback) const
+{
+    auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    try {
+        return std::stoull(it->second);
+    } catch (...) {
+        fatal("option --", name, " expects a number, got '",
+              it->second, "'");
+    }
+}
+
+SystemConfig
+Options::applyTo(SystemConfig base) const
+{
+    if (has("cores"))
+        base.num_cores = static_cast<std::uint32_t>(getInt("cores", 0));
+    if (has("model"))
+        base.model = cpu::parseConsistencyModel(get("model"));
+    if (has("spec")) {
+        const std::string mode = get("spec");
+        if (mode == "off") {
+            base.spec.mode = spec::SpecMode::Off;
+        } else if (mode == "on-demand") {
+            base.spec.mode = spec::SpecMode::OnDemand;
+        } else if (mode == "continuous") {
+            base.spec.mode = spec::SpecMode::Continuous;
+        } else {
+            fatal("unknown speculation mode '", mode, "'");
+        }
+    }
+    if (has("granularity")) {
+        const std::string g = get("granularity");
+        if (g == "block") {
+            base.spec.granularity = spec::Granularity::Block;
+        } else if (g == "per-store") {
+            base.spec.granularity = spec::Granularity::PerStore;
+        } else {
+            fatal("unknown granularity '", g, "'");
+        }
+    }
+    if (has("overflow")) {
+        const std::string p = get("overflow");
+        if (p == "stall") {
+            base.spec.overflow = spec::OverflowPolicy::Stall;
+        } else if (p == "rollback") {
+            base.spec.overflow = spec::OverflowPolicy::Rollback;
+        } else {
+            fatal("unknown overflow policy '", p, "'");
+        }
+    }
+    if (has("sb-size"))
+        base.sb_size = static_cast<unsigned>(getInt("sb-size", 0));
+    if (has("l1-kb"))
+        base.l1.size = getInt("l1-kb", 0) * 1024;
+    if (has("l2-kb"))
+        base.l2.size = getInt("l2-kb", 0) * 1024;
+    if (has("dram-latency"))
+        base.l2.dram_latency = getInt("dram-latency", 0);
+    if (has("net-latency"))
+        base.net.latency = getInt("net-latency", 0);
+    return base;
+}
+
+void
+Options::printUsage(const std::string &prog)
+{
+    std::cout
+        << "usage: " << prog << " [options]\n"
+        << "  --cores=N             number of cores\n"
+        << "  --model=sc|tso|rmo    consistency model\n"
+        << "  --spec=off|on-demand|continuous\n"
+        << "  --granularity=block|per-store\n"
+        << "  --overflow=stall|rollback\n"
+        << "  --sb-size=N           store-buffer entries\n"
+        << "  --l1-kb=N             L1 size (KiB)\n"
+        << "  --l2-kb=N             L2 size (KiB)\n"
+        << "  --dram-latency=N      DRAM latency (cycles)\n"
+        << "  --net-latency=N       interconnect hop latency (cycles)\n"
+        << "  --scale=N             workload scaling factor\n"
+        << "  --seed=N              workload seed\n"
+        << "  --csv                 machine-readable tables\n"
+        << "  --help                this message\n";
+}
+
+} // namespace fenceless::harness

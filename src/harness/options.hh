@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Command-line option parsing for the examples and benchmark binaries.
+ *
+ * Keeps the binaries scriptable without pulling in a flags library:
+ *
+ *     harness::Options opts(argc, argv);
+ *     harness::SystemConfig cfg = opts.applyTo(defaults);
+ *     if (opts.csv()) ...
+ *
+ * Recognised options (all optional):
+ *     --cores=N            number of cores
+ *     --model=sc|tso|rmo   consistency model
+ *     --spec=off|on-demand|continuous
+ *     --granularity=block|per-store
+ *     --overflow=stall|rollback
+ *     --sb-size=N          store-buffer entries
+ *     --l1-kb=N            L1 size in KiB
+ *     --l2-kb=N            L2 size in KiB
+ *     --dram-latency=N     cycles
+ *     --net-latency=N      cycles
+ *     --scale=N            workload scaling factor
+ *     --seed=N             workload seed where applicable
+ *     --csv                machine-readable table output
+ *     --help               print usage and exit
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "harness/system.hh"
+
+namespace fenceless::harness
+{
+
+class Options
+{
+  public:
+    /**
+     * Parse argv.  Unknown --options are fatal (typos should not
+     * silently run the default experiment); positional arguments are
+     * not supported.  `--help` prints usage and exits.
+     */
+    Options(int argc, char **argv);
+
+    /** Overlay the parsed options onto @p base and return the result. */
+    SystemConfig applyTo(SystemConfig base) const;
+
+    bool csv() const { return csv_; }
+    unsigned scale() const { return scale_; }
+    std::uint64_t seed() const { return seed_; }
+
+    /** @return true if the user passed the given option. */
+    bool has(const std::string &name) const
+    {
+        return values_.count(name) > 0;
+    }
+
+    /** Raw string value of an option ("" if absent). */
+    std::string get(const std::string &name) const;
+
+    /** Integer value of an option (or @p fallback). */
+    std::uint64_t getInt(const std::string &name,
+                         std::uint64_t fallback) const;
+
+    static void printUsage(const std::string &prog);
+
+  private:
+    std::map<std::string, std::string> values_;
+    bool csv_ = false;
+    unsigned scale_ = 1;
+    std::uint64_t seed_ = 42;
+};
+
+} // namespace fenceless::harness

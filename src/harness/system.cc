@@ -1,0 +1,201 @@
+#include "harness/system.hh"
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+#include "isa/interp.hh"
+
+namespace fenceless::harness
+{
+
+System::System(const SystemConfig &config, const isa::Program &prog)
+    : config_(config), prog_(prog)
+{
+    static const bool trace_initialised = [] {
+        trace::initFromEnv();
+        return true;
+    }();
+    (void)trace_initialised;
+
+    flAssert(config_.num_cores >= 1, "need at least one core");
+    flAssert(config_.num_cores <= mem::max_cores,
+             "at most ", mem::max_cores, " cores supported");
+    flAssert(config_.l1.block_size == config_.l2.block_size,
+             "L1 and L2 block sizes must match");
+
+    isa::loadImage(prog_, backing_);
+
+    const mem::NodeId dir_node = config_.num_cores;
+    network_ = std::make_unique<mem::Network>(ctx_, "network",
+                                              config_.net);
+    for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+        l1s_.push_back(std::make_unique<mem::L1Cache>(
+            ctx_, "l1_" + std::to_string(i), config_.l1, i, dir_node,
+            *network_));
+    }
+    dir_ = std::make_unique<mem::Directory>(ctx_, "l2dir", config_.l2,
+                                            dir_node, config_.num_cores,
+                                            *network_, backing_);
+
+    cpu::Core::Params core_params;
+    core_params.model = config_.model;
+    core_params.sb_size = config_.sb_size;
+    core_params.sb_max_inflight = config_.sb_max_inflight;
+    core_params.sb_prefetch_depth = config_.sb_prefetch_depth;
+    for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+        cores_.push_back(std::make_unique<cpu::Core>(
+            ctx_, "core_" + std::to_string(i), core_params, i, prog_,
+            *l1s_[i], config_.num_cores));
+        cores_.back()->setHaltCallback([this] { ++halted_; });
+    }
+
+    if (config_.spec.mode != spec::SpecMode::Off) {
+        for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+            specs_.push_back(std::make_unique<spec::SpecController>(
+                ctx_, "spec_" + std::to_string(i), config_.spec,
+                *cores_[i], *l1s_[i]));
+        }
+    }
+}
+
+bool
+System::run()
+{
+    for (auto &core : cores_)
+        core->reset();
+    ctx_.eventq.run(config_.max_cycles);
+    if (halted_ != config_.num_cores)
+        return false;
+    // Let in-flight protocol traffic (final writebacks, acks) settle so
+    // postcondition checks see a quiesced system.
+    ctx_.eventq.run(max_tick);
+    return true;
+}
+
+Tick
+System::runtimeCycles() const
+{
+    Tick last = 0;
+    for (const auto &core : cores_) {
+        last = std::max(last,
+                        core->statGroup().scalarCount("halt_tick"));
+    }
+    return last;
+}
+
+std::uint64_t
+System::debugRead(Addr addr, unsigned size) const
+{
+    for (const auto &l1 : l1s_) {
+        std::uint64_t v = 0;
+        if (l1->debugRead(addr, size, v))
+            return v;
+    }
+    return dir_->debugRead(addr, size);
+}
+
+std::uint64_t
+System::totalInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &core : cores_)
+        total += core->instret();
+    return total;
+}
+
+std::uint64_t
+System::totalCommits() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : specs_)
+        total += s->commits();
+    return total;
+}
+
+std::uint64_t
+System::totalRollbacks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &s : specs_)
+        total += s->rollbacks();
+    return total;
+}
+
+bool
+System::quiesced() const
+{
+    if (!ctx_.eventq.empty())
+        return false;
+    for (const auto &l1 : l1s_) {
+        if (!l1->quiesced())
+            return false;
+    }
+    return dir_->quiesced();
+}
+
+void
+System::auditCoherence() const
+{
+    flAssert(quiesced(), "coherence audit requires a quiesced system");
+
+    for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+        l1s_[i]->forEachBlock([&](const mem::L1Block &blk) {
+            const mem::L2Block *l2 = dir_->findBlock(blk.block_addr);
+            flAssert(l2, "inclusivity: L1 ", i, " holds 0x", std::hex,
+                     blk.block_addr, std::dec, " but the L2 does not");
+            switch (blk.state) {
+              case mem::L1State::M:
+              case mem::L1State::E:
+              case mem::L1State::MStale:
+                flAssert(l2->owner == i, "L1 ", i, " holds 0x", std::hex,
+                         blk.block_addr, std::dec, " as ",
+                         l1StateName(blk.state),
+                         " but the directory owner is ", l2->owner);
+                flAssert(!l2->hasSharers(),
+                         "owned block 0x", std::hex, blk.block_addr,
+                         std::dec, " also has sharers");
+                break;
+              case mem::L1State::S: {
+                flAssert(l2->isSharer(i), "L1 ", i, " holds 0x",
+                         std::hex, blk.block_addr, std::dec,
+                         " as S but is not a recorded sharer");
+                flAssert(!l2->hasOwner(), "shared block 0x", std::hex,
+                         blk.block_addr, std::dec, " also has an owner");
+                // Shared copies are clean: data must match the L2.
+                flAssert(blk.data == l2->data,
+                         "S copy of 0x", std::hex, blk.block_addr,
+                         std::dec, " in L1 ", i,
+                         " differs from the L2 data");
+                break;
+              }
+              case mem::L1State::I:
+                panic("invalid block reported as valid");
+            }
+        });
+    }
+
+    // Directory bookkeeping points at real copies.
+    dir_->forEachBlock([&](const mem::L2Block &l2) {
+        if (l2.hasOwner()) {
+            const mem::L1Block *blk =
+                l1s_.at(l2.owner)->findBlock(l2.block_addr);
+            flAssert(blk && blk->valid &&
+                     blk->state != mem::L1State::S,
+                     "directory owner ", l2.owner, " of 0x", std::hex,
+                     l2.block_addr, std::dec,
+                     " does not hold the block exclusively");
+        }
+        for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+            if (!l2.isSharer(c))
+                continue;
+            const mem::L1Block *blk =
+                l1s_.at(c)->findBlock(l2.block_addr);
+            flAssert(blk && blk->valid &&
+                     blk->state == mem::L1State::S,
+                     "recorded sharer ", c, " of 0x", std::hex,
+                     l2.block_addr, std::dec,
+                     " does not hold the block in S");
+        }
+    });
+}
+
+} // namespace fenceless::harness

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Whole-system assembly: N cores with private L1s, a shared L2 with
+ * directory, an interconnect, DRAM, and (optionally) one fence-
+ * speculation controller per core.  This is the public entry point the
+ * examples, tests and benchmarks build on.
+ */
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/flat_memory.hh"
+#include "core/spec_controller.hh"
+#include "cpu/core.hh"
+#include "isa/program.hh"
+#include "mem/directory.hh"
+#include "mem/l1_cache.hh"
+#include "mem/network.hh"
+#include "sim/sim_object.hh"
+
+namespace fenceless::harness
+{
+
+/** Everything configurable about a simulated system. */
+struct SystemConfig
+{
+    std::uint32_t num_cores = 4;
+    cpu::ConsistencyModel model = cpu::ConsistencyModel::TSO;
+    unsigned sb_size = 16;
+    unsigned sb_max_inflight = 4;   //!< relaxed-drain overlap (RMO)
+    unsigned sb_prefetch_depth = 4; //!< store ownership prefetching
+    spec::SpecController::Params spec; //!< spec.mode == Off -> baseline
+    mem::L1Cache::Params l1;
+    mem::Directory::Params l2;
+    mem::Network::Params net;
+    std::uint64_t max_cycles = 500'000'000;
+
+    /** Convenience: enable on-demand block-granularity speculation. */
+    SystemConfig &
+    withSpeculation(spec::SpecMode mode = spec::SpecMode::OnDemand)
+    {
+        spec.mode = mode;
+        return *this;
+    }
+};
+
+class System
+{
+  public:
+    System(const SystemConfig &config, const isa::Program &prog);
+
+    /**
+     * Run until every core halts (or the cycle budget is exhausted).
+     * @return true if all cores halted
+     */
+    bool run();
+
+    /** Cycle the last core halted at (the parallel runtime). */
+    Tick runtimeCycles() const;
+
+    /** Current simulated tick. */
+    Tick curTick() const { return ctx_.curTick(); }
+
+    /**
+     * Functional read of the coherent memory image: the owning L1's
+     * copy if one exists, else the L2 copy, else DRAM.
+     */
+    std::uint64_t debugRead(Addr addr, unsigned size) const;
+
+    /** A workload::MemReader over debugRead. */
+    std::function<std::uint64_t(Addr, unsigned)>
+    memReader() const
+    {
+        return [this](Addr a, unsigned s) { return debugRead(a, s); };
+    }
+
+    std::uint32_t numCores() const { return config_.num_cores; }
+    cpu::Core &core(std::uint32_t i) { return *cores_.at(i); }
+    const cpu::Core &core(std::uint32_t i) const { return *cores_.at(i); }
+    mem::L1Cache &l1(std::uint32_t i) { return *l1s_.at(i); }
+    mem::Directory &directory() { return *dir_; }
+
+    /** The speculation controller for core @p i (null when disabled). */
+    spec::SpecController *specController(std::uint32_t i)
+    {
+        return specs_.empty() ? nullptr : specs_.at(i).get();
+    }
+
+    statistics::StatRegistry &stats() { return ctx_.stats; }
+    const statistics::StatRegistry &stats() const { return ctx_.stats; }
+    sim::SimContext &context() { return ctx_; }
+
+    std::uint64_t totalInstructions() const;
+
+    /** Aggregate counters handy for benches (summed over cores). */
+    std::uint64_t totalCommits() const;
+    std::uint64_t totalRollbacks() const;
+
+    /** @return true when no miss/transaction/event remains in flight. */
+    bool quiesced() const;
+
+    /**
+     * Audit the coherence invariants (single writer, inclusive L2,
+     * directory/sharer agreement, S-block data == L2 data).  Must be
+     * called on a quiesced system; panics on the first violation.
+     */
+    void auditCoherence() const;
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+    isa::Program prog_;
+    sim::SimContext ctx_;
+    FlatMemory backing_;
+
+    std::unique_ptr<mem::Network> network_;
+    std::unique_ptr<mem::Directory> dir_;
+    std::vector<std::unique_ptr<mem::L1Cache>> l1s_;
+    std::vector<std::unique_ptr<cpu::Core>> cores_;
+    std::vector<std::unique_ptr<spec::SpecController>> specs_;
+
+    std::uint32_t halted_ = 0;
+};
+
+} // namespace fenceless::harness

@@ -1,0 +1,88 @@
+#include "harness/table.hh"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace fenceless::harness
+{
+
+std::string
+fmt(double v, int precision)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    flAssert(cells.size() == headers_.size(),
+             "table row has ", cells.size(), " cells, expected ",
+             headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << std::string(widths[c] + 2, '-');
+            if (c + 1 < widths.size())
+                os << "+";
+        }
+        os << "\n";
+    };
+
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << " ";
+            if (c == 0) {
+                os << std::left << std::setw(
+                       static_cast<int>(widths[c])) << cells[c];
+            } else {
+                os << std::right << std::setw(
+                       static_cast<int>(widths[c])) << cells[c];
+            }
+            os << " ";
+            if (c + 1 < cells.size())
+                os << "|";
+        }
+        os << "\n";
+    };
+
+    line(headers_);
+    rule();
+    for (const auto &row : rows_)
+        line(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    auto line = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c)
+                os << ",";
+            os << cells[c];
+        }
+        os << "\n";
+    };
+    line(headers_);
+    for (const auto &row : rows_)
+        line(row);
+}
+
+} // namespace fenceless::harness

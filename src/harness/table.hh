@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fixed-width text tables for benchmark output.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fenceless::harness
+{
+
+/** Format a double with @p precision decimals. */
+std::string fmt(double v, int precision = 2);
+
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers))
+    {}
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with aligned columns (first column left, rest right). */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV. */
+    void printCsv(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace fenceless::harness

@@ -1,0 +1,327 @@
+#include "isa/assembler.hh"
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+
+namespace fenceless::isa
+{
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    const DataSymbol *sym = findSymbol(name);
+    if (!sym)
+        panic("unknown data symbol '", name, "'");
+    return sym->addr;
+}
+
+const DataSymbol *
+Program::findSymbol(const std::string &name) const
+{
+    for (const auto &s : symbols) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+Addr
+Assembler::alloc(const std::string &name, std::uint64_t size,
+                 std::uint64_t align)
+{
+    flAssert(isPowerOf2(align), "alloc alignment must be a power of two");
+    const Addr addr = alignUp(next_data_, align);
+    next_data_ = addr + size;
+    if (!name.empty()) {
+        for (const auto &s : symbols_)
+            flAssert(s.name != name, "duplicate data symbol '", name, "'");
+        symbols_.push_back(DataSymbol{name, addr, size});
+    }
+    return addr;
+}
+
+Addr
+Assembler::word(const std::string &name, std::uint64_t init)
+{
+    const Addr addr = alloc(name, 8, 8);
+    data_.write64(addr, init);
+    return addr;
+}
+
+Addr
+Assembler::array(const std::string &name, std::uint64_t count,
+                 std::uint64_t init)
+{
+    const Addr addr = alloc(name, count * 8, 8);
+    if (init != 0) {
+        for (std::uint64_t i = 0; i < count; ++i)
+            data_.write64(addr + i * 8, init);
+    }
+    return addr;
+}
+
+Addr
+Assembler::paddedWord(const std::string &name, std::uint64_t init,
+                      std::uint64_t block_size)
+{
+    const Addr addr = alloc(name, block_size, block_size);
+    data_.write64(addr, init);
+    return addr;
+}
+
+void
+Assembler::init64(Addr addr, std::uint64_t value)
+{
+    data_.write64(addr, value);
+}
+
+void
+Assembler::label(const std::string &name)
+{
+    flAssert(!labels_.count(name), "duplicate label '", name, "'");
+    labels_[name] = code_.size();
+}
+
+void
+Assembler::rrr(Op op, RegId rd, RegId rs1, RegId rs2)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    emit(i);
+}
+
+void
+Assembler::rri(Op op, RegId rd, RegId rs1, std::int64_t imm)
+{
+    Inst i;
+    i.op = op;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = imm;
+    emit(i);
+}
+
+void
+Assembler::ld(RegId rd, RegId rs1, std::int64_t disp, std::uint8_t size)
+{
+    Inst i;
+    i.op = Op::Load;
+    i.rd = rd;
+    i.rs1 = rs1;
+    i.imm = disp;
+    i.size = size;
+    emit(i);
+}
+
+void
+Assembler::st(RegId rs2, RegId rs1, std::int64_t disp, std::uint8_t size)
+{
+    Inst i;
+    i.op = Op::Store;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    i.imm = disp;
+    i.size = size;
+    emit(i);
+}
+
+void
+Assembler::amoswap(RegId rd, RegId rs2, RegId addr_reg, std::uint8_t size)
+{
+    Inst i;
+    i.op = Op::AmoSwap;
+    i.rd = rd;
+    i.rs1 = addr_reg;
+    i.rs2 = rs2;
+    i.size = size;
+    emit(i);
+}
+
+void
+Assembler::amoadd(RegId rd, RegId rs2, RegId addr_reg, std::uint8_t size)
+{
+    Inst i;
+    i.op = Op::AmoAdd;
+    i.rd = rd;
+    i.rs1 = addr_reg;
+    i.rs2 = rs2;
+    i.size = size;
+    emit(i);
+}
+
+void
+Assembler::amocas(RegId rd, RegId expected, RegId desired, RegId addr_reg,
+                  std::uint8_t size)
+{
+    Inst i;
+    i.op = Op::AmoCas;
+    i.rd = rd;
+    i.rs1 = addr_reg;
+    i.rs2 = expected;
+    i.rs3 = desired;
+    i.size = size;
+    emit(i);
+}
+
+void
+Assembler::fence(FenceKind kind)
+{
+    Inst i;
+    i.op = Op::Fence;
+    i.fence = kind;
+    emit(i);
+}
+
+void
+Assembler::branch(Op op, RegId rs1, RegId rs2, const std::string &target)
+{
+    Inst i;
+    i.op = op;
+    i.rs1 = rs1;
+    i.rs2 = rs2;
+    fixups_.push_back(Fixup{code_.size(), target});
+    emit(i);
+}
+
+void
+Assembler::beq(RegId rs1, RegId rs2, const std::string &t)
+{
+    branch(Op::Beq, rs1, rs2, t);
+}
+
+void
+Assembler::bne(RegId rs1, RegId rs2, const std::string &t)
+{
+    branch(Op::Bne, rs1, rs2, t);
+}
+
+void
+Assembler::blt(RegId rs1, RegId rs2, const std::string &t)
+{
+    branch(Op::Blt, rs1, rs2, t);
+}
+
+void
+Assembler::bge(RegId rs1, RegId rs2, const std::string &t)
+{
+    branch(Op::Bge, rs1, rs2, t);
+}
+
+void
+Assembler::bltu(RegId rs1, RegId rs2, const std::string &t)
+{
+    branch(Op::Bltu, rs1, rs2, t);
+}
+
+void
+Assembler::bgeu(RegId rs1, RegId rs2, const std::string &t)
+{
+    branch(Op::Bgeu, rs1, rs2, t);
+}
+
+void
+Assembler::jump(const std::string &target)
+{
+    Inst i;
+    i.op = Op::Jal;
+    i.rd = x0;
+    fixups_.push_back(Fixup{code_.size(), target});
+    emit(i);
+}
+
+void
+Assembler::call(const std::string &target)
+{
+    Inst i;
+    i.op = Op::Jal;
+    i.rd = ra;
+    fixups_.push_back(Fixup{code_.size(), target});
+    emit(i);
+}
+
+void
+Assembler::ret()
+{
+    Inst i;
+    i.op = Op::Jalr;
+    i.rd = x0;
+    i.rs1 = ra;
+    i.imm = 0;
+    emit(i);
+}
+
+void
+Assembler::csrr(RegId rd, Csr csr)
+{
+    Inst i;
+    i.op = Op::CsrRead;
+    i.rd = rd;
+    i.csr = csr;
+    emit(i);
+}
+
+void
+Assembler::halt()
+{
+    Inst i;
+    i.op = Op::Halt;
+    emit(i);
+}
+
+void
+Assembler::nop()
+{
+    Inst i;
+    i.op = Op::Nop;
+    emit(i);
+}
+
+void
+Assembler::pause()
+{
+    Inst i;
+    i.op = Op::Pause;
+    emit(i);
+}
+
+void
+Assembler::emit(const Inst &inst)
+{
+    if (inst.isMem()) {
+        flAssert(inst.size == 1 || inst.size == 2 || inst.size == 4 ||
+                 inst.size == 8, "unsupported access size ",
+                 static_cast<int>(inst.size));
+    }
+    code_.push_back(inst);
+}
+
+Program
+Assembler::finish()
+{
+    for (const auto &fix : fixups_) {
+        auto it = labels_.find(fix.label);
+        flAssert(it != labels_.end(), "undefined label '", fix.label, "'");
+        code_[fix.inst_index].imm =
+            static_cast<std::int64_t>(it->second);
+    }
+
+    Program prog;
+    prog.code = std::move(code_);
+    prog.data = std::move(data_);
+    prog.data_limit = next_data_;
+    prog.symbols = std::move(symbols_);
+
+    code_.clear();
+    labels_.clear();
+    fixups_.clear();
+    data_ = DataImage();
+    symbols_.clear();
+    next_data_ = 0x1000;
+
+    return prog;
+}
+
+} // namespace fenceless::isa

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * An in-memory assembler for the guest mini-ISA.
+ *
+ * Workloads build programs through this fluent interface:
+ *
+ *     Assembler as;
+ *     Addr counter = as.word("counter", 0);
+ *     as.li(t0, 1);
+ *     as.label("loop");
+ *     as.amoadd(t1, t0, a0);
+ *     as.bne(t1, t2, "loop");
+ *     as.halt();
+ *     Program prog = as.finish();
+ *
+ * Labels may be referenced before they are defined; all references are
+ * resolved in finish(), which panics on undefined or duplicate labels.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/inst.hh"
+#include "isa/program.hh"
+
+namespace fenceless::isa
+{
+
+class Assembler
+{
+  public:
+    // --- data segment -----------------------------------------------
+
+    /**
+     * Allocate @p size bytes in the data segment.
+     * @param name    symbol name (must be unique; "" for anonymous)
+     * @param size    bytes to allocate
+     * @param align   required alignment (power of two)
+     * @return the allocated address
+     */
+    Addr alloc(const std::string &name, std::uint64_t size,
+               std::uint64_t align = 8);
+
+    /** Allocate and initialize one 64-bit word. */
+    Addr word(const std::string &name, std::uint64_t init);
+
+    /** Allocate an array of @p count 64-bit words, all @p init. */
+    Addr array(const std::string &name, std::uint64_t count,
+               std::uint64_t init = 0);
+
+    /**
+     * Allocate a 64-bit word alone in its own cache block, padding to
+     * @p block_size.  Used to avoid (or create) false sharing on purpose.
+     */
+    Addr paddedWord(const std::string &name, std::uint64_t init,
+                    std::uint64_t block_size = 64);
+
+    /** Store a 64-bit initial value at an already-allocated address. */
+    void init64(Addr addr, std::uint64_t value);
+
+    // --- labels ------------------------------------------------------
+
+    /** Define @p name at the current code position. */
+    void label(const std::string &name);
+
+    /** @return current instruction index (for computed jumps/tests). */
+    std::size_t here() const { return code_.size(); }
+
+    // --- ALU ---------------------------------------------------------
+
+    void add(RegId rd, RegId rs1, RegId rs2) { rrr(Op::Add, rd, rs1, rs2); }
+    void sub(RegId rd, RegId rs1, RegId rs2) { rrr(Op::Sub, rd, rs1, rs2); }
+    void and_(RegId rd, RegId rs1, RegId rs2) { rrr(Op::And, rd, rs1, rs2); }
+    void or_(RegId rd, RegId rs1, RegId rs2) { rrr(Op::Or, rd, rs1, rs2); }
+    void xor_(RegId rd, RegId rs1, RegId rs2) { rrr(Op::Xor, rd, rs1, rs2); }
+    void sll(RegId rd, RegId rs1, RegId rs2) { rrr(Op::Sll, rd, rs1, rs2); }
+    void srl(RegId rd, RegId rs1, RegId rs2) { rrr(Op::Srl, rd, rs1, rs2); }
+    void slt(RegId rd, RegId rs1, RegId rs2) { rrr(Op::Slt, rd, rs1, rs2); }
+    void sltu(RegId rd, RegId rs1, RegId rs2)
+    {
+        rrr(Op::Sltu, rd, rs1, rs2);
+    }
+    void mul(RegId rd, RegId rs1, RegId rs2) { rrr(Op::Mul, rd, rs1, rs2); }
+    void divu(RegId rd, RegId rs1, RegId rs2)
+    {
+        rrr(Op::Divu, rd, rs1, rs2);
+    }
+    void remu(RegId rd, RegId rs1, RegId rs2)
+    {
+        rrr(Op::Remu, rd, rs1, rs2);
+    }
+
+    void addi(RegId rd, RegId rs1, std::int64_t imm)
+    {
+        rri(Op::Addi, rd, rs1, imm);
+    }
+    void andi(RegId rd, RegId rs1, std::int64_t imm)
+    {
+        rri(Op::Andi, rd, rs1, imm);
+    }
+    void ori(RegId rd, RegId rs1, std::int64_t imm)
+    {
+        rri(Op::Ori, rd, rs1, imm);
+    }
+    void xori(RegId rd, RegId rs1, std::int64_t imm)
+    {
+        rri(Op::Xori, rd, rs1, imm);
+    }
+    void slli(RegId rd, RegId rs1, std::int64_t imm)
+    {
+        rri(Op::Slli, rd, rs1, imm);
+    }
+    void srli(RegId rd, RegId rs1, std::int64_t imm)
+    {
+        rri(Op::Srli, rd, rs1, imm);
+    }
+    void slti(RegId rd, RegId rs1, std::int64_t imm)
+    {
+        rri(Op::Slti, rd, rs1, imm);
+    }
+    void sltiu(RegId rd, RegId rs1, std::int64_t imm)
+    {
+        rri(Op::Sltiu, rd, rs1, imm);
+    }
+
+    /** Load a full 64-bit immediate (also used for data addresses). */
+    void
+    li(RegId rd, std::uint64_t imm)
+    {
+        Inst i;
+        i.op = Op::Li;
+        i.rd = rd;
+        i.imm = static_cast<std::int64_t>(imm);
+        emit(i);
+    }
+
+    /** rd <- rs (assembler alias for addi rd, rs, 0). */
+    void mv(RegId rd, RegId rs) { addi(rd, rs, 0); }
+
+    // --- memory ------------------------------------------------------
+
+    void ld(RegId rd, RegId rs1, std::int64_t disp = 0,
+            std::uint8_t size = 8);
+    void st(RegId rs2, RegId rs1, std::int64_t disp = 0,
+            std::uint8_t size = 8);
+
+    void amoswap(RegId rd, RegId rs2, RegId addr_reg,
+                 std::uint8_t size = 8);
+    void amoadd(RegId rd, RegId rs2, RegId addr_reg, std::uint8_t size = 8);
+    void amocas(RegId rd, RegId expected, RegId desired, RegId addr_reg,
+                std::uint8_t size = 8);
+
+    void fence(FenceKind kind = FenceKind::Full);
+    void fenceAcquire() { fence(FenceKind::Acquire); }
+    void fenceRelease() { fence(FenceKind::Release); }
+
+    // --- control -----------------------------------------------------
+
+    void beq(RegId rs1, RegId rs2, const std::string &target);
+    void bne(RegId rs1, RegId rs2, const std::string &target);
+    void blt(RegId rs1, RegId rs2, const std::string &target);
+    void bge(RegId rs1, RegId rs2, const std::string &target);
+    void bltu(RegId rs1, RegId rs2, const std::string &target);
+    void bgeu(RegId rs1, RegId rs2, const std::string &target);
+
+    /** Unconditional jump (jal x0). */
+    void jump(const std::string &target);
+
+    /** Call: jal ra, target. */
+    void call(const std::string &target);
+
+    /** Return: jalr x0, ra+0. */
+    void ret();
+
+    // --- system ------------------------------------------------------
+
+    void csrr(RegId rd, Csr csr);
+    void halt();
+    void nop();
+    void pause();
+
+    // --- finalization -------------------------------------------------
+
+    /**
+     * Resolve all label references and hand over the program.
+     * The assembler is left empty and reusable.
+     */
+    Program finish();
+
+  private:
+    void rrr(Op op, RegId rd, RegId rs1, RegId rs2);
+    void rri(Op op, RegId rd, RegId rs1, std::int64_t imm);
+    void branch(Op op, RegId rs1, RegId rs2, const std::string &target);
+    void emit(const Inst &inst);
+
+    struct Fixup
+    {
+        std::size_t inst_index;
+        std::string label;
+    };
+
+    std::vector<Inst> code_;
+    std::map<std::string, std::size_t> labels_;
+    std::vector<Fixup> fixups_;
+    DataImage data_;
+    std::vector<DataSymbol> symbols_;
+    Addr next_data_ = 0x1000; //!< leave low page unused to catch null derefs
+};
+
+} // namespace fenceless::isa

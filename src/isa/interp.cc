@@ -1,0 +1,197 @@
+#include "isa/interp.hh"
+
+#include "base/logging.hh"
+
+namespace fenceless::isa
+{
+
+void
+loadImage(const Program &prog, FlatMemory &mem)
+{
+    for (const auto &[addr, byte] : prog.data.bytes())
+        mem.write(addr, &byte, 1);
+}
+
+bool
+Interpreter::step(ThreadContext &tc, std::uint64_t cycle)
+{
+    if (tc.halted)
+        return false;
+
+    flAssert(tc.pc < prog_.code.size(), "pc ", tc.pc,
+             " outside program (", prog_.code.size(), " instructions)");
+    const Inst &inst = prog_.code[tc.pc];
+    std::uint64_t next_pc = tc.pc + 1;
+
+    switch (inst.op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or: case Op::Xor:
+      case Op::Sll: case Op::Srl: case Op::Sra: case Op::Slt:
+      case Op::Sltu: case Op::Mul: case Op::Divu: case Op::Remu:
+        tc.setReg(inst.rd,
+                  aluOp(inst.op, tc.reg(inst.rs1), tc.reg(inst.rs2)));
+        break;
+
+      case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
+      case Op::Slli: case Op::Srli: case Op::Srai: case Op::Slti:
+      case Op::Sltiu:
+        tc.setReg(inst.rd,
+                  aluOp(inst.op, tc.reg(inst.rs1),
+                        static_cast<std::uint64_t>(inst.imm)));
+        break;
+
+      case Op::Li:
+        tc.setReg(inst.rd, static_cast<std::uint64_t>(inst.imm));
+        break;
+
+      case Op::Load: {
+        const Addr addr = tc.reg(inst.rs1) + inst.imm;
+        flAssert(addr % inst.size == 0, "misaligned load @", addr);
+        tc.setReg(inst.rd, mem_.readInt(addr, inst.size));
+        break;
+      }
+
+      case Op::Store: {
+        const Addr addr = tc.reg(inst.rs1) + inst.imm;
+        flAssert(addr % inst.size == 0, "misaligned store @", addr);
+        mem_.writeInt(addr, inst.size, tc.reg(inst.rs2));
+        break;
+      }
+
+      case Op::AmoSwap: case Op::AmoAdd: case Op::AmoCas: {
+        const Addr addr = tc.reg(inst.rs1);
+        flAssert(addr % inst.size == 0, "misaligned AMO @", addr);
+        const std::uint64_t old_v = mem_.readInt(addr, inst.size);
+        const std::uint64_t new_v =
+            amoApply(inst, old_v, tc.reg(inst.rs2), tc.reg(inst.rs3));
+        mem_.writeInt(addr, inst.size, new_v);
+        tc.setReg(inst.rd, old_v);
+        break;
+      }
+
+      case Op::Fence:
+        break; // no functional effect
+
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        if (branchTaken(inst.op, tc.reg(inst.rs1), tc.reg(inst.rs2)))
+            next_pc = static_cast<std::uint64_t>(inst.imm);
+        break;
+
+      case Op::Jal:
+        tc.setReg(inst.rd, tc.pc + 1);
+        next_pc = static_cast<std::uint64_t>(inst.imm);
+        break;
+
+      case Op::Jalr:
+        tc.setReg(inst.rd, tc.pc + 1);
+        next_pc = tc.reg(inst.rs1) + inst.imm;
+        break;
+
+      case Op::CsrRead:
+        switch (inst.csr) {
+          case Csr::Tid:
+            tc.setReg(inst.rd, tc.tid);
+            break;
+          case Csr::NumCores:
+            tc.setReg(inst.rd, num_cores_);
+            break;
+          case Csr::Cycle:
+            tc.setReg(inst.rd, cycle);
+            break;
+          case Csr::InstRet:
+            tc.setReg(inst.rd, tc.instret);
+            break;
+        }
+        break;
+
+      case Op::Halt:
+        tc.halted = true;
+        ++tc.instret;
+        return false;
+
+      case Op::Nop:
+      case Op::Pause:
+        break;
+    }
+
+    tc.pc = next_pc;
+    ++tc.instret;
+    return true;
+}
+
+ReferenceExecutor::ReferenceExecutor(const Program &prog,
+                                     std::uint32_t num_cores,
+                                     std::uint64_t quantum)
+    : prog_(prog), interp_(prog, mem_, num_cores), quantum_(quantum)
+{
+    flAssert(num_cores > 0, "need at least one thread");
+    flAssert(quantum > 0, "quantum must be positive");
+    loadImage(prog, mem_);
+    threads_.resize(num_cores);
+    for (std::uint32_t i = 0; i < num_cores; ++i) {
+        threads_[i].tid = i;
+        // Startup convention: tp holds the thread id.
+        threads_[i].setReg(tp, i);
+    }
+}
+
+void
+ReferenceExecutor::randomize(std::uint64_t seed)
+{
+    randomized_ = true;
+    rng_.seed(seed);
+}
+
+bool
+ReferenceExecutor::run(std::uint64_t max_steps)
+{
+    std::uint32_t next = 0;
+    while (total_insts_ < max_steps) {
+        // Pick a runnable thread.
+        std::uint32_t chosen = threads_.size();
+        if (randomized_) {
+            std::uint32_t live = 0;
+            for (const auto &t : threads_)
+                live += !t.halted;
+            if (live == 0)
+                return true;
+            std::uint32_t pick =
+                static_cast<std::uint32_t>(rng_.range(0, live - 1));
+            for (std::uint32_t i = 0; i < threads_.size(); ++i) {
+                if (threads_[i].halted)
+                    continue;
+                if (pick-- == 0) {
+                    chosen = i;
+                    break;
+                }
+            }
+        } else {
+            for (std::uint32_t n = 0; n < threads_.size(); ++n) {
+                const std::uint32_t i = (next + n) % threads_.size();
+                if (!threads_[i].halted) {
+                    chosen = i;
+                    next = (i + 1) % threads_.size();
+                    break;
+                }
+            }
+            if (chosen == threads_.size())
+                return true;
+        }
+
+        ThreadContext &tc = threads_[chosen];
+        std::uint64_t quantum = randomized_
+            ? rng_.range(1, quantum_) : quantum_;
+        for (std::uint64_t q = 0; q < quantum && !tc.halted; ++q) {
+            interp_.step(tc, total_insts_);
+            ++total_insts_;
+        }
+    }
+    // Step budget exhausted: report whether everything halted anyway.
+    for (const auto &t : threads_) {
+        if (!t.halted)
+            return false;
+    }
+    return true;
+}
+
+} // namespace fenceless::isa

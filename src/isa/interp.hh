@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Functional interpreter and reference executor.
+ *
+ * The interpreter executes decoded instructions against a FlatMemory with
+ * no timing.  The reference executor runs all guest threads to completion
+ * under a configurable interleaving; its final memory image is the oracle
+ * the timing simulator's results are checked against (for programs with
+ * interleaving-independent results) in tests.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/flat_memory.hh"
+#include "base/random.hh"
+#include "base/types.hh"
+#include "isa/program.hh"
+
+namespace fenceless::isa
+{
+
+/** Architectural state of one guest thread. */
+struct ThreadContext
+{
+    std::array<std::uint64_t, num_regs> regs{};
+    std::uint64_t pc = 0;
+    std::uint64_t instret = 0;
+    bool halted = false;
+    CoreId tid = 0;
+
+    std::uint64_t
+    reg(RegId r) const
+    {
+        return r == 0 ? 0 : regs[r];
+    }
+
+    void
+    setReg(RegId r, std::uint64_t v)
+    {
+        if (r != 0)
+            regs[r] = v;
+    }
+};
+
+/** Load a program's initial data image into a flat memory. */
+void loadImage(const Program &prog, FlatMemory &mem);
+
+/**
+ * Functional (untimed) single-step execution.
+ *
+ * Fences are no-ops functionally; AMOs execute atomically because the
+ * interpreter is single-threaded.
+ */
+class Interpreter
+{
+  public:
+    Interpreter(const Program &prog, FlatMemory &mem,
+                std::uint32_t num_cores)
+        : prog_(prog), mem_(mem), num_cores_(num_cores)
+    {}
+
+    /**
+     * Execute one instruction of @p tc.
+     * @param cycle  value returned by the Cycle CSR
+     * @return false if the thread was already (or just became) halted
+     */
+    bool step(ThreadContext &tc, std::uint64_t cycle = 0);
+
+    const Program &program() const { return prog_; }
+
+  private:
+    const Program &prog_;
+    FlatMemory &mem_;
+    std::uint32_t num_cores_;
+};
+
+/**
+ * Runs every guest thread to completion under round-robin or randomized
+ * interleaving.
+ */
+class ReferenceExecutor
+{
+  public:
+    /**
+     * @param prog       the program (shared by all threads)
+     * @param num_cores  number of guest threads
+     * @param quantum    max consecutive instructions per thread before
+     *                   switching (1 == fine-grained interleaving)
+     */
+    ReferenceExecutor(const Program &prog, std::uint32_t num_cores,
+                      std::uint64_t quantum = 1);
+
+    /** Use a randomized schedule drawn from @p seed instead of RR. */
+    void randomize(std::uint64_t seed);
+
+    /**
+     * Run until every thread halts or @p max_steps total instructions.
+     * @return true if all threads halted
+     */
+    bool run(std::uint64_t max_steps = 100'000'000);
+
+    FlatMemory &memory() { return mem_; }
+    const FlatMemory &memory() const { return mem_; }
+    const ThreadContext &thread(std::uint32_t i) const
+    {
+        return threads_.at(i);
+    }
+    std::uint64_t totalInstructions() const { return total_insts_; }
+
+  private:
+    const Program &prog_;
+    FlatMemory mem_;
+    Interpreter interp_;
+    std::vector<ThreadContext> threads_;
+    std::uint64_t quantum_;
+    bool randomized_ = false;
+    Random rng_;
+    std::uint64_t total_insts_ = 0;
+};
+
+} // namespace fenceless::isa

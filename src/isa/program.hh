@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A complete guest program: code, initial data image, and layout info.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/inst.hh"
+
+namespace fenceless::isa
+{
+
+/**
+ * The initial contents of the guest data segment.  Unwritten bytes are
+ * zero.  Kept sparse so huge zero-filled arrays cost nothing.
+ */
+class DataImage
+{
+  public:
+    void
+    write(Addr addr, const void *src, std::size_t len)
+    {
+        const auto *bytes = static_cast<const std::uint8_t *>(src);
+        for (std::size_t i = 0; i < len; ++i)
+            bytes_[addr + i] = bytes[i];
+    }
+
+    void
+    write64(Addr addr, std::uint64_t value)
+    {
+        write(addr, &value, sizeof(value));
+    }
+
+    std::uint8_t
+    read(Addr addr) const
+    {
+        auto it = bytes_.find(addr);
+        return it == bytes_.end() ? 0 : it->second;
+    }
+
+    const std::map<Addr, std::uint8_t> &bytes() const { return bytes_; }
+
+  private:
+    std::map<Addr, std::uint8_t> bytes_;
+};
+
+/** A symbol in the data segment (name -> address, for checkers). */
+struct DataSymbol
+{
+    std::string name;
+    Addr addr;
+    std::uint64_t size;
+};
+
+/** An assembled guest program shared by every core in the system. */
+struct Program
+{
+    std::vector<Inst> code;
+    DataImage data;
+    Addr data_limit = 0;       //!< one past the highest allocated address
+    std::vector<DataSymbol> symbols;
+
+    /** Look up a data symbol's address; panics if absent. */
+    Addr symbol(const std::string &name) const;
+
+    /** Look up a data symbol; nullptr if absent. */
+    const DataSymbol *findSymbol(const std::string &name) const;
+};
+
+} // namespace fenceless::isa

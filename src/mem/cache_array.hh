@@ -1,0 +1,173 @@
+/**
+ * @file
+ * A generic set-associative cache array with LRU replacement.
+ *
+ * Shared by the L1 controllers and the shared L2: the controllers define
+ * their own block type (deriving from CacheBlockBase) carrying protocol
+ * state; the array handles geometry, lookup, and victim selection.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace fenceless::mem
+{
+
+/** State common to all cache blocks. */
+struct CacheBlockBase
+{
+    Addr block_addr = invalid_addr; //!< aligned address of cached block
+    bool valid = false;
+    std::uint64_t use_stamp = 0;    //!< monotonic LRU stamp
+    std::vector<std::uint8_t> data;
+
+    std::uint64_t
+    readInt(Addr offset, unsigned size) const
+    {
+        flAssert(offset + size <= data.size(), "block read out of range");
+        std::uint64_t v = 0;
+        std::memcpy(&v, data.data() + offset, size);
+        return v;
+    }
+
+    void
+    writeInt(Addr offset, unsigned size, std::uint64_t value)
+    {
+        flAssert(offset + size <= data.size(), "block write out of range");
+        std::memcpy(data.data() + offset, &value, size);
+    }
+};
+
+template <typename BlockT>
+class CacheArray
+{
+  public:
+    /**
+     * @param size_bytes  total capacity
+     * @param assoc       ways per set
+     * @param block_size  block (line) size in bytes
+     */
+    CacheArray(std::uint64_t size_bytes, unsigned assoc,
+               unsigned block_size)
+        : assoc_(assoc), block_size_(block_size)
+    {
+        flAssert(isPowerOf2(block_size), "block size must be a power of 2");
+        flAssert(assoc > 0, "associativity must be positive");
+        flAssert(size_bytes % (static_cast<std::uint64_t>(assoc)
+                               * block_size) == 0,
+                 "cache size not divisible by assoc*block_size");
+        num_sets_ = size_bytes / (static_cast<std::uint64_t>(assoc)
+                                  * block_size);
+        flAssert(isPowerOf2(num_sets_), "number of sets must be a power "
+                 "of 2 (got ", num_sets_, ")");
+        blocks_.resize(num_sets_ * assoc_);
+        for (auto &b : blocks_)
+            b.data.assign(block_size_, 0);
+    }
+
+    unsigned blockSize() const { return block_size_; }
+    std::uint64_t numSets() const { return num_sets_; }
+    unsigned assoc() const { return assoc_; }
+    std::uint64_t numBlocks() const { return blocks_.size(); }
+
+    Addr blockAlign(Addr a) const { return alignDown(a, block_size_); }
+
+    std::uint64_t
+    setIndex(Addr a) const
+    {
+        return (a / block_size_) % num_sets_;
+    }
+
+    /** @return the block holding @p addr, or nullptr. */
+    BlockT *
+    find(Addr addr)
+    {
+        const Addr ba = blockAlign(addr);
+        const std::uint64_t set = setIndex(ba);
+        for (unsigned w = 0; w < assoc_; ++w) {
+            BlockT &b = blocks_[set * assoc_ + w];
+            if (b.valid && b.block_addr == ba)
+                return &b;
+        }
+        return nullptr;
+    }
+
+    const BlockT *
+    find(Addr addr) const
+    {
+        return const_cast<CacheArray *>(this)->find(addr);
+    }
+
+    /** Mark @p block most-recently used. */
+    void touch(BlockT &block) { block.use_stamp = ++stamp_; }
+
+    /** @return an invalid (free) way in @p addr's set, or nullptr. */
+    BlockT *
+    findFreeWay(Addr addr)
+    {
+        const std::uint64_t set = setIndex(blockAlign(addr));
+        for (unsigned w = 0; w < assoc_; ++w) {
+            BlockT &b = blocks_[set * assoc_ + w];
+            if (!b.valid)
+                return &b;
+        }
+        return nullptr;
+    }
+
+    /**
+     * @return the least-recently-used evictable block in @p addr's set
+     *         (per @p can_evict), or nullptr if none qualifies.
+     */
+    template <typename Pred>
+    BlockT *
+    findVictim(Addr addr, Pred can_evict)
+    {
+        const std::uint64_t set = setIndex(blockAlign(addr));
+        BlockT *victim = nullptr;
+        for (unsigned w = 0; w < assoc_; ++w) {
+            BlockT &b = blocks_[set * assoc_ + w];
+            if (!b.valid || !can_evict(b))
+                continue;
+            if (!victim || b.use_stamp < victim->use_stamp)
+                victim = &b;
+        }
+        return victim;
+    }
+
+    /** Visit every valid block. */
+    template <typename Fn>
+    void
+    forEach(Fn fn)
+    {
+        for (auto &b : blocks_) {
+            if (b.valid)
+                fn(b);
+        }
+    }
+
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &b : blocks_) {
+            if (b.valid)
+                fn(b);
+        }
+    }
+
+  private:
+    unsigned assoc_;
+    unsigned block_size_;
+    std::uint64_t num_sets_ = 0;
+    std::uint64_t stamp_ = 0;
+    std::vector<BlockT> blocks_;
+};
+
+} // namespace fenceless::mem

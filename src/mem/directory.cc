@@ -1,0 +1,520 @@
+#include "mem/directory.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/trace.hh"
+
+namespace fenceless::mem
+{
+
+Directory::Directory(sim::SimContext &ctx, const std::string &name,
+                     const Params &params, NodeId node_id,
+                     std::uint32_t num_cores, Network &network,
+                     FlatMemory &backing)
+    : SimObject(ctx, name), params_(params), node_id_(node_id),
+      num_cores_(num_cores), network_(network), backing_(backing),
+      array_(params.size, params.assoc, params.block_size),
+      stat_gets_(statGroup().addScalar("gets", "GetS transactions")),
+      stat_getm_(statGroup().addScalar("getm", "GetM transactions")),
+      stat_puts_(statGroup().addScalar("puts", "Put transactions")),
+      stat_wb_clean_(statGroup().addScalar("wb_clean",
+                                           "WbClean updates received")),
+      stat_fwds_sent_(statGroup().addScalar("fwds_sent",
+                                            "probes forwarded to owners")),
+      stat_invs_sent_(statGroup().addScalar("invs_sent",
+                                            "invalidations sent")),
+      stat_recalls_(statGroup().addScalar("recalls",
+                                          "L2 eviction recalls")),
+      stat_dram_reads_(statGroup().addScalar("dram_reads",
+                                             "DRAM block reads")),
+      stat_dram_writes_(statGroup().addScalar("dram_writes",
+                                              "DRAM block writebacks"))
+{
+    flAssert(num_cores <= max_cores, "directory supports at most ",
+             max_cores, " cores");
+    network_.registerEndpoint(node_id_, this);
+}
+
+void
+Directory::receiveMsg(const Msg &msg)
+{
+    if (isDirRequest(msg.type)) {
+        dispatch(msg);
+        return;
+    }
+    switch (msg.type) {
+      case MsgType::WbClean:
+        handleWbClean(msg);
+        break;
+      case MsgType::InvAck:
+      case MsgType::FwdDataAck:
+      case MsgType::FwdNoDataAck:
+        handleAck(msg);
+        break;
+      default:
+        panic(name(), ": unexpected message ", msg.toString());
+    }
+}
+
+// ---------------------------------------------------------------------
+// dispatch / queueing
+// ---------------------------------------------------------------------
+
+void
+Directory::dispatch(const Msg &msg)
+{
+    FL_TRACE(trace::Flag::Dir, *this, "dispatch ", msg.toString(),
+             (active_.count(msg.block_addr) ? " (queued)" : ""));
+    if (active_.count(msg.block_addr)) {
+        pending_[msg.block_addr].push_back(msg);
+        ++total_pending_;
+        return;
+    }
+    startTxn(msg);
+}
+
+void
+Directory::startTxn(const Msg &msg)
+{
+    Txn &txn = active_[msg.block_addr];
+    txn.req = msg;
+    txn.phase = Txn::Phase::Start;
+    // Model the directory/tag access latency before processing.
+    sim::scheduleOneShot(eventq(), curTick() + params_.latency,
+                         [this, addr = msg.block_addr] {
+                             processRequest(addr);
+                         });
+}
+
+void
+Directory::processRequest(Addr block_addr)
+{
+    auto it = active_.find(block_addr);
+    flAssert(it != active_.end(), name(), ": processRequest with no "
+             "active transaction");
+    Txn &txn = it->second;
+    const Msg &req = txn.req;
+
+    switch (req.type) {
+      case MsgType::GetS:
+      case MsgType::GetM: {
+        if (!ensurePresent(txn, block_addr))
+            return; // waiting for DRAM or a victim recall
+        L2Block *blk = array_.find(block_addr);
+        array_.touch(*blk);
+        if (req.type == MsgType::GetS) {
+            ++stat_gets_;
+            processGetS(txn, *blk);
+        } else {
+            ++stat_getm_;
+            processGetM(txn, *blk);
+        }
+        break;
+      }
+      case MsgType::PutM:
+      case MsgType::PutS:
+      case MsgType::PutNoData: {
+        ++stat_puts_;
+        L2Block *blk = array_.find(block_addr);
+        // Inclusivity: a Put can only name a block the L2 tracks, unless
+        // the Put raced with a recall that already removed it.
+        if (blk) {
+            processPut(txn, *blk);
+        } else {
+            sendToL1(MsgType::PutAck, txn.req.src, block_addr);
+        }
+        complete(block_addr);
+        break;
+      }
+      default:
+        panic(name(), ": bad queued request ", req.toString());
+    }
+}
+
+void
+Directory::complete(Addr block_addr)
+{
+    active_.erase(block_addr);
+    auto it = pending_.find(block_addr);
+    if (it == pending_.end())
+        return;
+    flAssert(!it->second.empty(), "empty pending queue left behind");
+    Msg next = it->second.front();
+    it->second.pop_front();
+    --total_pending_;
+    if (it->second.empty())
+        pending_.erase(it);
+    startTxn(next);
+}
+
+// ---------------------------------------------------------------------
+// GetS / GetM
+// ---------------------------------------------------------------------
+
+void
+Directory::processGetS(Txn &txn, L2Block &blk)
+{
+    const CoreId requestor = txn.req.src;
+
+    if (blk.hasOwner() && blk.owner != requestor) {
+        ++stat_fwds_sent_;
+        sendToL1(MsgType::FwdGetS, blk.owner, blk.block_addr);
+        txn.phase = Txn::Phase::Fwd;
+        return;
+    }
+    if (blk.owner == requestor) {
+        // Owner re-requesting (defensive: MStale refetch normally uses
+        // GetM).  Grant M so ownership bookkeeping stays unchanged.
+        sendData(MsgType::DataM, requestor, blk);
+        complete(blk.block_addr);
+        return;
+    }
+    if (!blk.hasSharers()) {
+        blk.owner = requestor;
+        sendData(MsgType::DataE, requestor, blk);
+    } else {
+        blk.addSharer(requestor);
+        sendData(MsgType::DataS, requestor, blk);
+    }
+    complete(blk.block_addr);
+}
+
+void
+Directory::processGetM(Txn &txn, L2Block &blk)
+{
+    const CoreId requestor = txn.req.src;
+
+    if (blk.owner == requestor) {
+        // MStale refetch: the L1 lost its data to a rollback but remains
+        // owner; the L2 copy is the pre-speculation value.
+        sendData(MsgType::DataM, requestor, blk);
+        complete(blk.block_addr);
+        return;
+    }
+    if (blk.hasOwner()) {
+        ++stat_fwds_sent_;
+        sendToL1(MsgType::FwdGetM, blk.owner, blk.block_addr);
+        txn.phase = Txn::Phase::Fwd;
+        return;
+    }
+
+    blk.removeSharer(requestor); // requestor gets fresh data anyway
+    if (!blk.hasSharers()) {
+        blk.owner = requestor;
+        blk.sharers = 0;
+        sendData(MsgType::DataM, requestor, blk);
+        complete(blk.block_addr);
+        return;
+    }
+    unsigned count = 0;
+    for (CoreId c = 0; c < num_cores_; ++c) {
+        if (blk.isSharer(c)) {
+            sendToL1(MsgType::Inv, c, blk.block_addr);
+            ++count;
+        }
+    }
+    stat_invs_sent_ += count;
+    txn.pending_acks = count;
+    txn.phase = Txn::Phase::InvAcks;
+}
+
+// ---------------------------------------------------------------------
+// Puts and WbClean
+// ---------------------------------------------------------------------
+
+void
+Directory::processPut(Txn &txn, L2Block &blk)
+{
+    const CoreId sender = txn.req.src;
+
+    switch (txn.req.type) {
+      case MsgType::PutM:
+        if (blk.owner == sender) {
+            flAssert(txn.req.data.size() == array_.blockSize(),
+                     name(), ": PutM with bad payload");
+            blk.data = txn.req.data;
+            blk.dirty = true;
+            blk.owner = invalid_core;
+        } else {
+            // Stale put: the sender was downgraded (to sharer, by a
+            // FwdGetS that raced with the eviction) or invalidated.
+            blk.removeSharer(sender);
+        }
+        break;
+      case MsgType::PutNoData:
+        if (blk.owner == sender) {
+            // The L1's data was discarded by a rollback; the L2 copy is
+            // current.
+            blk.owner = invalid_core;
+        } else {
+            blk.removeSharer(sender);
+        }
+        break;
+      case MsgType::PutS:
+        blk.removeSharer(sender);
+        break;
+      default:
+        panic(name(), ": processPut on ", txn.req.toString());
+    }
+    sendToL1(MsgType::PutAck, sender, blk.block_addr);
+}
+
+void
+Directory::handleWbClean(const Msg &msg)
+{
+    ++stat_wb_clean_;
+    L2Block *blk = array_.find(msg.block_addr);
+    // Channel FIFO guarantees a WbClean arrives while its sender is
+    // still the owner (it precedes any ownership-changing response from
+    // that L1), and inclusivity guarantees the entry exists.
+    flAssert(blk, name(), ": WbClean for an untracked block 0x",
+             std::hex, msg.block_addr);
+    flAssert(blk->owner == msg.src, name(), ": WbClean from non-owner ",
+             msg.src);
+    flAssert(msg.data.size() == array_.blockSize(),
+             name(), ": WbClean with bad payload");
+    blk->data = msg.data;
+    blk->dirty = true;
+}
+
+// ---------------------------------------------------------------------
+// acks (routed to the active transaction)
+// ---------------------------------------------------------------------
+
+void
+Directory::handleAck(const Msg &msg)
+{
+    auto it = active_.find(msg.block_addr);
+    flAssert(it != active_.end(), name(), ": ", msg.toString(),
+             " with no active transaction");
+    Txn &txn = it->second;
+    L2Block *blk = array_.find(msg.block_addr);
+    flAssert(blk, name(), ": ack for a block not in L2");
+
+    if (msg.type == MsgType::InvAck) {
+        flAssert(txn.phase == Txn::Phase::InvAcks,
+                 name(), ": unexpected InvAck");
+        blk->removeSharer(msg.src);
+        flAssert(txn.pending_acks > 0, "InvAck underflow");
+        if (--txn.pending_acks > 0)
+            return;
+        if (txn.is_recall) {
+            finishRecall(txn, *blk);
+            return;
+        }
+        // GetM: all sharers gone; grant M.
+        blk->owner = txn.req.src;
+        blk->sharers = 0;
+        sendData(MsgType::DataM, txn.req.src, *blk);
+        complete(msg.block_addr);
+        return;
+    }
+
+    // FwdDataAck / FwdNoDataAck from the (former) owner.
+    flAssert(txn.phase == Txn::Phase::Fwd,
+             name(), ": unexpected ", msg.toString());
+    const CoreId old_owner = blk->owner;
+    flAssert(old_owner == msg.src, name(), ": Fwd ack from ", msg.src,
+             " but owner is ", old_owner);
+
+    if (msg.type == MsgType::FwdDataAck) {
+        flAssert(msg.data.size() == array_.blockSize(),
+                 name(), ": FwdDataAck with bad payload");
+        blk->data = msg.data;
+        blk->dirty = true;
+    }
+    // On FwdNoDataAck the L2 copy is already the authoritative value.
+
+    if (txn.is_recall) {
+        blk->owner = invalid_core;
+        finishRecall(txn, *blk);
+        return;
+    }
+
+    if (txn.req.type == MsgType::GetS) {
+        blk->owner = invalid_core;
+        if (msg.type == MsgType::FwdDataAck)
+            blk->addSharer(old_owner); // downgraded owner keeps a copy
+        if (!blk->hasSharers()) {
+            blk->owner = txn.req.src;
+            sendData(MsgType::DataE, txn.req.src, *blk);
+        } else {
+            blk->addSharer(txn.req.src);
+            sendData(MsgType::DataS, txn.req.src, *blk);
+        }
+    } else { // GetM
+        blk->owner = txn.req.src;
+        blk->sharers = 0;
+        sendData(MsgType::DataM, txn.req.src, *blk);
+    }
+    complete(msg.block_addr);
+}
+
+// ---------------------------------------------------------------------
+// L2 fills and recalls
+// ---------------------------------------------------------------------
+
+bool
+Directory::ensurePresent(Txn &txn, Addr block_addr)
+{
+    if (array_.find(block_addr))
+        return true;
+
+    if (txn.phase == Txn::Phase::Dram) {
+        panic(name(), ": re-entered ensurePresent while in Dram phase");
+    }
+
+    L2Block *way = array_.findFreeWay(block_addr);
+    if (!way) {
+        // Prefer victims nobody caches; otherwise recall one.
+        L2Block *victim = array_.findVictim(block_addr,
+            [this](const L2Block &b) {
+                return !active_.count(b.block_addr) && !b.hasOwner() &&
+                       !b.hasSharers();
+            });
+        if (!victim) {
+            victim = array_.findVictim(block_addr,
+                [this](const L2Block &b) {
+                    return !active_.count(b.block_addr);
+                });
+            flAssert(victim, name(), ": all L2 ways busy in set for 0x",
+                     std::hex, block_addr, std::dec,
+                     " - L2 too small for the transaction load");
+            txn.phase = Txn::Phase::Blocked;
+            startRecall(victim->block_addr, txn.req);
+            return false;
+        }
+        dramWriteback(*victim);
+        victim->valid = false;
+        way = victim;
+    }
+
+    // Fetch the block from DRAM.
+    txn.phase = Txn::Phase::Dram;
+    ++stat_dram_reads_;
+    const Tick ready = std::max(curTick(), dram_next_free_)
+                       + params_.dram_latency;
+    dram_next_free_ = std::max(curTick(), dram_next_free_)
+                      + params_.dram_cycle;
+
+    way->valid = true;
+    way->block_addr = block_addr;
+    way->dirty = false;
+    way->owner = invalid_core;
+    way->sharers = 0;
+    backing_.read(block_addr, way->data.data(), array_.blockSize());
+    array_.touch(*way);
+
+    sim::scheduleOneShot(eventq(), ready, [this, block_addr] {
+        processRequest(block_addr);
+    });
+    return false;
+}
+
+void
+Directory::startRecall(Addr victim_addr, const Msg &blocked_req)
+{
+    FL_TRACE(trace::Flag::Dir, *this, "recall 0x", std::hex,
+             victim_addr, " to make room for 0x",
+             blocked_req.block_addr);
+    ++stat_recalls_;
+    flAssert(!active_.count(victim_addr),
+             name(), ": recalling a busy block");
+    Txn &txn = active_[victim_addr];
+    txn.is_recall = true;
+    txn.resume = blocked_req;
+    txn.req = Msg{}; // synthetic
+    txn.req.type = MsgType::GetM;
+    txn.req.block_addr = victim_addr;
+
+    L2Block *blk = array_.find(victim_addr);
+    flAssert(blk, name(), ": recall target vanished");
+
+    if (blk->hasOwner()) {
+        ++stat_fwds_sent_;
+        sendToL1(MsgType::Recall, blk->owner, victim_addr);
+        txn.phase = Txn::Phase::Fwd;
+        return;
+    }
+    flAssert(blk->hasSharers(), name(), ": recall of an uncached block");
+    unsigned count = 0;
+    for (CoreId c = 0; c < num_cores_; ++c) {
+        if (blk->isSharer(c)) {
+            sendToL1(MsgType::Inv, c, victim_addr);
+            ++count;
+        }
+    }
+    stat_invs_sent_ += count;
+    txn.pending_acks = count;
+    txn.phase = Txn::Phase::InvAcks;
+}
+
+void
+Directory::finishRecall(Txn &txn, L2Block &victim)
+{
+    flAssert(!victim.hasOwner() && !victim.hasSharers(),
+             name(), ": recall finished with live copies");
+    const Addr victim_addr = victim.block_addr;
+    dramWriteback(victim);
+    victim.valid = false;
+
+    std::optional<Msg> resume = std::move(txn.resume);
+    complete(victim_addr); // also dispatches queued requests for victim
+
+    if (resume) {
+        // Continue the transaction that was blocked on this recall.
+        const Addr orig = resume->block_addr;
+        flAssert(active_.count(orig),
+                 name(), ": blocked transaction vanished");
+        processRequest(orig);
+    }
+}
+
+void
+Directory::dramWriteback(L2Block &blk)
+{
+    if (!blk.dirty)
+        return;
+    ++stat_dram_writes_;
+    backing_.write(blk.block_addr, blk.data.data(), array_.blockSize());
+    blk.dirty = false;
+    // Writes are buffered; only the occupancy cost is modelled.
+    dram_next_free_ = std::max(curTick(), dram_next_free_)
+                      + params_.dram_cycle;
+}
+
+// ---------------------------------------------------------------------
+// misc
+// ---------------------------------------------------------------------
+
+void
+Directory::sendToL1(MsgType type, NodeId dst, Addr block_addr,
+                    const std::vector<std::uint8_t> *data)
+{
+    Msg msg;
+    msg.type = type;
+    msg.src = node_id_;
+    msg.dst = dst;
+    msg.block_addr = block_addr;
+    if (data)
+        msg.data = *data;
+    network_.send(std::move(msg));
+}
+
+void
+Directory::sendData(MsgType type, NodeId dst, const L2Block &blk)
+{
+    sendToL1(type, dst, blk.block_addr, &blk.data);
+}
+
+std::uint64_t
+Directory::debugRead(Addr addr, unsigned size) const
+{
+    const L2Block *blk = array_.find(addr);
+    if (blk)
+        return blk->readInt(addr - blk->block_addr, size);
+    return backing_.readInt(addr, size);
+}
+
+} // namespace fenceless::mem

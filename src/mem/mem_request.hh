@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The request interface between a core (and its store buffer) and its L1.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "base/types.hh"
+
+namespace fenceless::mem
+{
+
+enum class MemOp : std::uint8_t
+{
+    Load,
+    Store,
+    Amo,
+    PrefetchEx, //!< non-binding exclusive-ownership prefetch
+};
+
+/**
+ * One memory access presented to the L1.
+ *
+ * The L1 completes a request asynchronously by invoking @ref callback with
+ * the loaded value (the *old* value for AMOs, unused for stores).  For
+ * AMOs, @ref amo_func computes the new memory value from the old one;
+ * this keeps the memory system independent of ISA details.
+ */
+struct MemRequest
+{
+    MemOp op = MemOp::Load;
+    Addr addr = 0;
+    std::uint8_t size = 8;
+    std::uint64_t store_data = 0;
+    std::function<std::uint64_t(std::uint64_t)> amo_func;
+    bool spec = false; //!< access belongs to a speculative epoch
+    std::uint32_t spec_epoch = 0; //!< epoch the access belongs to
+    std::function<void(std::uint64_t)> callback;
+
+    bool isLoad() const { return op == MemOp::Load; }
+    bool isStore() const { return op == MemOp::Store; }
+    bool isAmo() const { return op == MemOp::Amo; }
+    bool isPrefetch() const { return op == MemOp::PrefetchEx; }
+
+    /** @return true if the access needs write (M) permission. */
+    bool needsWrite() const { return op != MemOp::Load; }
+};
+
+/**
+ * Interface the speculation controller exposes to its L1 cache.
+ *
+ * The L1 consults these hooks to validate speculation tags (epoch-based
+ * flash clear), report remote conflicts, and negotiate evictions of
+ * speculatively-marked blocks.  A null implementation means "speculation
+ * disabled".
+ */
+class SpecHooks
+{
+  public:
+    virtual ~SpecHooks() = default;
+
+    /** @return true while a speculative epoch is live. */
+    virtual bool specActive() const = 0;
+
+    /** @return current epoch id; tags from other epochs are invalid. */
+    virtual std::uint32_t specEpoch() const = 0;
+
+    /**
+     * A remote request conflicted with a live speculation tag.  The
+     * implementation rolls the core back (synchronously).
+     *
+     * @param block_addr   the conflicting block
+     * @param remote_write true for Inv/FwdGetM, false for FwdGetS
+     * @param had_sw       the block carried a speculative-write tag
+     */
+    virtual void specConflict(Addr block_addr, bool remote_write,
+                              bool had_sw) = 0;
+
+    /**
+     * Replacement wants to evict a block with live speculation tags.
+     *
+     * @param block_addr        the block the blocked fill is for
+     * @param needed_for_commit true when the blocked fill serves a
+     *        store/AMO of the current epoch: the epoch cannot commit
+     *        until that access completes, so waiting would deadlock and
+     *        the controller must roll back regardless of policy.
+     * @return true if the controller resolved the overflow by rolling
+     *         back (tags are now clear; eviction may proceed), false if
+     *         the fill must wait for the epoch to end (the controller
+     *         will call L1Cache::specCleared() then).
+     */
+    virtual bool specOverflow(Addr block_addr,
+                              bool needed_for_commit) = 0;
+};
+
+} // namespace fenceless::mem

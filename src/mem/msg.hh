@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Coherence messages exchanged between L1 controllers and the directory.
+ *
+ * The protocol is directory-based MESI with a blocking directory that
+ * collects invalidation acks itself, so all traffic flows L1 <-> directory
+ * (a star).  Channels preserve point-to-point FIFO order, which several
+ * protocol races rely on (e.g. WbClean ordered before a later
+ * FwdNoDataAck from the same L1).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace fenceless::mem
+{
+
+/** Network endpoint id: L1 caches are 0..N-1, the directory is N. */
+using NodeId = std::uint32_t;
+
+enum class MsgType : std::uint8_t
+{
+    // Requests, L1 -> directory (queued; blocking per block)
+    GetS,        //!< read permission
+    GetM,        //!< write permission
+    PutM,        //!< owner eviction, carries data
+    PutS,        //!< sharer eviction, no data
+    PutNoData,   //!< owner eviction with no valid data (post-rollback)
+
+    // Unsolicited update, L1 -> directory (processed immediately)
+    WbClean,     //!< owner pushes current data to L2, retains ownership
+
+    // Directory -> L1 (requests/probes)
+    Inv,         //!< invalidate; reply InvAck to directory
+    FwdGetS,     //!< send data to directory, downgrade M/E -> S
+    FwdGetM,     //!< send data to directory, invalidate
+    Recall,      //!< L2 eviction: owner returns data and invalidates
+
+    // Directory -> L1 (responses)
+    DataS,       //!< data with shared permission
+    DataE,       //!< data with exclusive (clean) permission
+    DataM,       //!< data with modify permission
+    PutAck,      //!< eviction acknowledged
+
+    // Responses, L1 -> directory (consumed by the active transaction)
+    InvAck,      //!< invalidation done
+    FwdDataAck,  //!< data in response to FwdGetS/FwdGetM/Recall
+    FwdNoDataAck,//!< probe hit a block whose data was discarded; use L2
+};
+
+/** @return the printable name of a message type. */
+const char *msgTypeName(MsgType t);
+
+/** @return true for request types the directory queues per block. */
+bool isDirRequest(MsgType t);
+
+/** One coherence message. */
+struct Msg
+{
+    MsgType type = MsgType::GetS;
+    NodeId src = 0;
+    NodeId dst = 0;
+    Addr block_addr = 0;
+    std::vector<std::uint8_t> data; //!< block payload, empty for ctrl msgs
+
+    bool hasData() const { return !data.empty(); }
+
+    /** On-wire size in bytes (header + payload). */
+    std::size_t sizeBytes() const { return 8 + data.size(); }
+
+    std::string toString() const;
+};
+
+} // namespace fenceless::mem

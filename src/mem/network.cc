@@ -1,0 +1,125 @@
+#include "mem/network.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace fenceless::mem
+{
+
+const char *
+msgTypeName(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS: return "GetS";
+      case MsgType::GetM: return "GetM";
+      case MsgType::PutM: return "PutM";
+      case MsgType::PutS: return "PutS";
+      case MsgType::PutNoData: return "PutNoData";
+      case MsgType::WbClean: return "WbClean";
+      case MsgType::Inv: return "Inv";
+      case MsgType::FwdGetS: return "FwdGetS";
+      case MsgType::FwdGetM: return "FwdGetM";
+      case MsgType::Recall: return "Recall";
+      case MsgType::DataS: return "DataS";
+      case MsgType::DataE: return "DataE";
+      case MsgType::DataM: return "DataM";
+      case MsgType::PutAck: return "PutAck";
+      case MsgType::InvAck: return "InvAck";
+      case MsgType::FwdDataAck: return "FwdDataAck";
+      case MsgType::FwdNoDataAck: return "FwdNoDataAck";
+    }
+    return "?";
+}
+
+bool
+isDirRequest(MsgType t)
+{
+    switch (t) {
+      case MsgType::GetS:
+      case MsgType::GetM:
+      case MsgType::PutM:
+      case MsgType::PutS:
+      case MsgType::PutNoData:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Msg::toString() const
+{
+    std::ostringstream os;
+    os << msgTypeName(type) << " " << src << "->" << dst << " blk=0x"
+       << std::hex << block_addr << std::dec
+       << (hasData() ? " +data" : "");
+    return os.str();
+}
+
+Network::Network(sim::SimContext &ctx, const std::string &name,
+                 const Params &params)
+    : SimObject(ctx, name), params_(params),
+      stat_msgs_(statGroup().addScalar("msgs", "messages delivered")),
+      stat_bytes_(statGroup().addScalar("bytes", "bytes delivered")),
+      stat_data_msgs_(statGroup().addScalar("data_msgs",
+                                            "data-carrying messages")),
+      stat_ctrl_msgs_(statGroup().addScalar("ctrl_msgs",
+                                            "control messages"))
+{
+    flAssert(params_.link_bytes_per_cycle > 0,
+             "network link bandwidth must be positive");
+}
+
+void
+Network::registerEndpoint(NodeId id, MsgReceiver *receiver)
+{
+    if (endpoints_.size() <= id)
+        endpoints_.resize(id + 1, nullptr);
+    flAssert(!endpoints_[id], "endpoint ", id, " already registered");
+    endpoints_[id] = receiver;
+}
+
+void
+Network::send(Msg msg)
+{
+    flAssert(msg.dst < endpoints_.size() && endpoints_[msg.dst],
+             "message to unregistered endpoint ", msg.dst);
+
+    const Cycles serialization =
+        (msg.sizeBytes() + params_.link_bytes_per_cycle - 1)
+        / params_.link_bytes_per_cycle;
+
+    Channel &ch = channels_[{msg.src, msg.dst}];
+    Tick arrival = curTick() + params_.latency + serialization;
+    // Preserve per-channel FIFO order and serialize on link bandwidth.
+    if (arrival <= ch.last_arrival)
+        arrival = ch.last_arrival + serialization;
+    ch.last_arrival = arrival;
+
+    ++stat_msgs_;
+    stat_bytes_ += msg.sizeBytes();
+    if (msg.hasData())
+        ++stat_data_msgs_;
+    else
+        ++stat_ctrl_msgs_;
+
+    // The delivery event owns itself and is destroyed after firing.
+    auto *ev = new DeliveryEvent(*this, std::move(msg));
+    eventq().schedule(ev, arrival);
+}
+
+void
+Network::DeliveryEvent::process()
+{
+    network.deliver(message);
+    delete this;
+}
+
+void
+Network::deliver(const Msg &msg)
+{
+    endpoints_[msg.dst]->receiveMsg(msg);
+}
+
+} // namespace fenceless::mem

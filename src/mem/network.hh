@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The on-chip interconnect model.
+ *
+ * A star network between the L1 controllers and the directory.  Each
+ * (src, dst) channel is a FIFO: a message arrives
+ * max(now + latency, channel_last_arrival + serialization) cycles later,
+ * where serialization = ceil(bytes / link_bytes_per_cycle) models link
+ * bandwidth.  FIFO order per channel is a protocol requirement.
+ */
+
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mem/msg.hh"
+#include "sim/sim_object.hh"
+
+namespace fenceless::mem
+{
+
+/** Anything that can receive coherence messages from the network. */
+class MsgReceiver
+{
+  public:
+    virtual ~MsgReceiver() = default;
+    virtual void receiveMsg(const Msg &msg) = 0;
+};
+
+class Network : public sim::SimObject
+{
+  public:
+    struct Params
+    {
+        Cycles latency = 8;           //!< base traversal latency
+        std::uint32_t link_bytes_per_cycle = 16;
+    };
+
+    Network(sim::SimContext &ctx, const std::string &name,
+            const Params &params);
+
+    /** Attach the receiver for endpoint @p id. */
+    void registerEndpoint(NodeId id, MsgReceiver *receiver);
+
+    /** Send a message; delivery is scheduled on the event queue. */
+    void send(Msg msg);
+
+  private:
+    struct Channel
+    {
+        Tick last_arrival = 0;
+    };
+
+    struct DeliveryEvent : public sim::Event
+    {
+        DeliveryEvent(Network &net, Msg msg)
+            : network(net), message(std::move(msg))
+        {}
+
+        void process() override;
+        std::string name() const override { return "net-delivery"; }
+
+        Network &network;
+        Msg message;
+    };
+
+    void deliver(const Msg &msg);
+
+    Params params_;
+    std::vector<MsgReceiver *> endpoints_;
+    std::map<std::pair<NodeId, NodeId>, Channel> channels_;
+
+    statistics::Scalar &stat_msgs_;
+    statistics::Scalar &stat_bytes_;
+    statistics::Scalar &stat_data_msgs_;
+    statistics::Scalar &stat_ctrl_msgs_;
+};
+
+} // namespace fenceless::mem

@@ -1,0 +1,131 @@
+#include "sim/eventq.hh"
+
+namespace fenceless::sim
+{
+
+namespace
+{
+
+/** A self-deleting event wrapping a callable. */
+class OneShotEvent : public Event
+{
+  public:
+    explicit OneShotEvent(std::function<void()> fn) : fn_(std::move(fn)) {}
+
+    void
+    process() override
+    {
+        fn_();
+        delete this;
+    }
+
+    std::string name() const override { return "one-shot"; }
+
+  private:
+    std::function<void()> fn_;
+};
+
+} // namespace
+
+void
+scheduleOneShot(EventQueue &eq, Tick when, std::function<void()> fn)
+{
+    eq.schedule(new OneShotEvent(std::move(fn)), when);
+}
+
+Event::~Event()
+{
+    // An event must not be destroyed while scheduled: the queue would be
+    // left holding a dangling pointer.  Components must deschedule their
+    // events (or drain the queue) before tearing down.
+    flAssert(!scheduled_, "event '", name(), "' destroyed while scheduled");
+}
+
+void
+EventQueue::schedule(Event *ev, Tick when)
+{
+    flAssert(ev != nullptr, "scheduling a null event");
+    flAssert(!ev->scheduled_, "event '", ev->name(),
+             "' is already scheduled");
+    flAssert(when >= cur_tick_, "event '", ev->name(),
+             "' scheduled in the past (", when, " < ", cur_tick_, ")");
+
+    ev->when_ = when;
+    ev->stamp_ = next_stamp_++;
+    ev->scheduled_ = true;
+    queue_.push(Entry{when, ev->priority_, ev->stamp_, ev});
+    ++num_scheduled_;
+}
+
+void
+EventQueue::deschedule(Event *ev)
+{
+    flAssert(ev != nullptr, "descheduling a null event");
+    if (!ev->scheduled_)
+        return;
+    // Lazy removal: the stale heap entry is skipped when popped.
+    ev->scheduled_ = false;
+    --num_scheduled_;
+}
+
+void
+EventQueue::reschedule(Event *ev, Tick when)
+{
+    deschedule(ev);
+    schedule(ev, when);
+}
+
+Event *
+EventQueue::popLive()
+{
+    while (!queue_.empty()) {
+        const Entry top = queue_.top();
+        queue_.pop();
+        Event *ev = top.event;
+        // An entry is live iff the event is still scheduled *and* this is
+        // the scheduling that created the entry (stamp matches).
+        if (ev->scheduled_ && ev->stamp_ == top.stamp) {
+            flAssert(top.when >= cur_tick_, "event time went backwards");
+            cur_tick_ = top.when;
+            ev->scheduled_ = false;
+            --num_scheduled_;
+            return ev;
+        }
+    }
+    return nullptr;
+}
+
+bool
+EventQueue::step()
+{
+    Event *ev = popLive();
+    if (!ev)
+        return false;
+    ev->process();
+    return true;
+}
+
+Tick
+EventQueue::run(Tick max_tick)
+{
+    while (num_scheduled_ > 0) {
+        // Peek at the next live event without firing it if it is beyond
+        // the horizon.
+        while (!queue_.empty()) {
+            const Entry &top = queue_.top();
+            if (top.event->scheduled_ && top.event->stamp_ == top.stamp)
+                break;
+            queue_.pop();
+        }
+        if (queue_.empty())
+            break;
+        if (queue_.top().when > max_tick) {
+            cur_tick_ = max_tick;
+            return cur_tick_;
+        }
+        step();
+    }
+    return cur_tick_;
+}
+
+} // namespace fenceless::sim

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The discrete-event queue at the heart of the simulator.
+ *
+ * Determinism: events scheduled for the same tick fire in (priority,
+ * insertion-sequence) order, so a run is reproducible regardless of heap
+ * internals.  Descheduling is lazy: a cancelled or rescheduled entry is
+ * recognised as stale when popped and skipped.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace fenceless::sim
+{
+
+class EventQueue;
+
+/**
+ * An event that can be scheduled on an EventQueue.
+ *
+ * Events are owned by their creators (typically as member objects of a
+ * simulated component) and may be scheduled, descheduled and rescheduled
+ * freely; at most one pending occurrence exists at a time.
+ */
+class Event
+{
+  public:
+    /** Standard priorities; lower fires first within a tick. */
+    enum Priority : int
+    {
+        prio_highest = 0,
+        prio_default = 50,
+        prio_stat = 90,
+        prio_lowest = 100,
+    };
+
+    explicit Event(int priority = prio_default) : priority_(priority) {}
+    virtual ~Event();
+
+    Event(const Event &) = delete;
+    Event &operator=(const Event &) = delete;
+
+    /** Called when the event fires. */
+    virtual void process() = 0;
+
+    /** Descriptive name for debugging. */
+    virtual std::string name() const { return "event"; }
+
+    bool scheduled() const { return scheduled_; }
+    Tick when() const { return when_; }
+    int priority() const { return priority_; }
+
+  private:
+    friend class EventQueue;
+
+    Tick when_ = 0;
+    std::uint64_t stamp_ = 0; //!< queue entry identity, for lazy removal
+    int priority_;
+    bool scheduled_ = false;
+};
+
+/** An Event whose process() invokes a bound callable. */
+class EventFunctionWrapper : public Event
+{
+  public:
+    EventFunctionWrapper(std::function<void()> callback, std::string name,
+                         int priority = prio_default)
+        : Event(priority), callback_(std::move(callback)),
+          name_(std::move(name))
+    {
+        flAssert(static_cast<bool>(callback_),
+                 "EventFunctionWrapper requires a callable");
+    }
+
+    void process() override { callback_(); }
+    std::string name() const override { return name_; }
+
+  private:
+    std::function<void()> callback_;
+    std::string name_;
+};
+
+/**
+ * Fire-and-forget: run @p fn at absolute tick @p when.  The event owns
+ * itself and is destroyed after firing.  For callbacks whose count is
+ * unbounded (cache responses, message deliveries); components with a
+ * fixed set of recurring events should own EventFunctionWrapper members
+ * instead.
+ */
+void scheduleOneShot(class EventQueue &eq, Tick when,
+                     std::function<void()> fn);
+
+/**
+ * The global event queue.  Single-threaded: one queue drives the whole
+ * simulated system.
+ */
+class EventQueue
+{
+  public:
+    Tick curTick() const { return cur_tick_; }
+
+    bool empty() const { return num_scheduled_ == 0; }
+    std::size_t numPending() const { return num_scheduled_; }
+
+    /** Schedule @p ev to fire at absolute tick @p when (>= curTick). */
+    void schedule(Event *ev, Tick when);
+
+    /** Remove a pending event (no-op scheduling state if not pending). */
+    void deschedule(Event *ev);
+
+    /** Move a pending (or idle) event to a new absolute tick. */
+    void reschedule(Event *ev, Tick when);
+
+    /**
+     * Run until the queue drains or @p max_tick is passed.
+     * @return the final current tick.
+     */
+    Tick run(Tick max_tick = fenceless::max_tick);
+
+    /** Fire exactly one event if any is pending. @return true if fired. */
+    bool step();
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t stamp;
+        Event *event;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.stamp > b.stamp;
+        }
+    };
+
+    /** Pop entries until a live one is found; nullptr when drained. */
+    Event *popLive();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    Tick cur_tick_ = 0;
+    std::uint64_t next_stamp_ = 1;
+    std::size_t num_scheduled_ = 0;
+};
+
+} // namespace fenceless::sim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Base class for simulated components and the shared simulation context.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "sim/eventq.hh"
+
+namespace fenceless::sim
+{
+
+/**
+ * Shared state every component needs: the event queue and the stat
+ * registry.  Owned by the System (harness); passed by reference to all
+ * SimObjects.
+ */
+struct SimContext
+{
+    EventQueue eventq;
+    statistics::StatRegistry stats;
+
+    Tick curTick() const { return eventq.curTick(); }
+};
+
+/**
+ * A named simulated component with its own stat group.
+ *
+ * All components run at the same clock (1 tick == 1 cycle); latencies are
+ * expressed directly in cycles.
+ */
+class SimObject
+{
+  public:
+    SimObject(SimContext &ctx, std::string name)
+        : ctx_(ctx), name_(std::move(name)),
+          stats_(ctx.stats.createGroup(name_))
+    {}
+
+    virtual ~SimObject() = default;
+
+    SimObject(const SimObject &) = delete;
+    SimObject &operator=(const SimObject &) = delete;
+
+    const std::string &name() const { return name_; }
+    Tick curTick() const { return ctx_.curTick(); }
+
+    EventQueue &eventq() { return ctx_.eventq; }
+    statistics::StatGroup &statGroup() { return stats_; }
+    const statistics::StatGroup &statGroup() const { return stats_; }
+
+    /** Schedule an event @p delay cycles from now. */
+    void
+    scheduleIn(Event *ev, Cycles delay)
+    {
+        ctx_.eventq.schedule(ev, curTick() + delay);
+    }
+
+    /** (Re)schedule an event @p delay cycles from now. */
+    void
+    rescheduleIn(Event *ev, Cycles delay)
+    {
+        ctx_.eventq.reschedule(ev, curTick() + delay);
+    }
+
+  protected:
+    SimContext &ctx_;
+
+  private:
+    std::string name_;
+    statistics::StatGroup &stats_;
+};
+
+} // namespace fenceless::sim

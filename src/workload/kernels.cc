@@ -1,0 +1,609 @@
+#include "workload/kernels.hh"
+
+#include <sstream>
+
+#include "base/bitfield.hh"
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "isa/assembler.hh"
+#include "workload/runtime.hh"
+
+namespace fenceless::workload
+{
+
+using namespace isa;
+
+namespace
+{
+
+std::string
+mismatch(const std::string &what, std::uint64_t expected,
+         std::uint64_t got)
+{
+    std::ostringstream os;
+    os << what << ": expected " << expected << " got " << got;
+    return os.str();
+}
+
+/** The guest's xorshift64 step, replicated on the host. */
+std::uint64_t
+xorshift64(std::uint64_t x)
+{
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+}
+
+constexpr std::uint64_t irregular_prime = 2654435761ULL;
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Stencil2D
+// ---------------------------------------------------------------------
+
+isa::Program
+Stencil2D::build(std::uint32_t)
+{
+    const std::uint64_t dim = params_.n + 2;
+    const std::uint64_t row_bytes = dim * 8;
+    const std::uint64_t grid_bytes = dim * dim * 8;
+
+    Assembler as;
+    const Addr grid_a = as.alloc("grid_a", grid_bytes, 64);
+    const Addr grid_b = as.alloc("grid_b", grid_bytes, 64);
+    const Addr bar_count = as.paddedWord("bar_count", 0);
+    const Addr bar_sense = as.paddedWord("bar_sense", 0);
+    grid_a_ = grid_a;
+    grid_b_ = grid_b;
+
+    // Deterministic initial values everywhere (boundary included); only
+    // the interior is ever rewritten.
+    Random rng(params_.seed);
+    for (std::uint64_t i = 0; i < dim; ++i) {
+        for (std::uint64_t j = 0; j < dim; ++j) {
+            const std::uint64_t v = rng.range(0, 1'000'000);
+            as.init64(grid_a + (i * dim + j) * 8, v);
+            as.init64(grid_b + (i * dim + j) * 8, v);
+        }
+    }
+
+    const auto rb = static_cast<std::int64_t>(row_bytes);
+
+    as.li(a0, grid_a);
+    as.li(a1, grid_b);
+    as.li(a2, bar_count);
+    as.li(a3, bar_sense);
+    as.csrr(s1, Csr::NumCores);
+    as.li(s4, params_.n);
+    as.li(s5, row_bytes);
+    as.li(s0, 0); // iteration
+
+    as.label("iter_loop");
+    // Select src/dst by iteration parity.
+    as.andi(t0, s0, 1);
+    as.bne(t0, x0, "odd");
+    as.mv(s6, a0);
+    as.mv(s7, a1);
+    as.jump("rows");
+    as.label("odd");
+    as.mv(s6, a1);
+    as.mv(s7, a0);
+
+    as.label("rows");
+    as.addi(s3, tp, 1); // my first row
+    as.label("row_loop");
+    as.bltu(s4, s3, "rows_done"); // row > n?
+    // Row base pointers.
+    as.mul(t1, s3, s5);
+    as.add(t2, s6, t1); // src row
+    as.add(t3, s7, t1); // dst row
+    as.li(s8, 1);       // col
+    as.label("col_loop");
+    as.slli(t4, s8, 3);
+    as.add(t5, t2, t4); // &src[row][col]
+    as.ld(t0, t5, -rb);
+    as.ld(t1, t5, rb);
+    as.add(t0, t0, t1);
+    as.ld(t1, t5, -8);
+    as.add(t0, t0, t1);
+    as.ld(t1, t5, 8);
+    as.add(t0, t0, t1);
+    as.srli(t0, t0, 2);
+    as.add(t5, t3, t4);
+    as.st(t0, t5);
+    as.addi(s8, s8, 1);
+    as.bgeu(s4, s8, "col_loop"); // col <= n
+    as.add(s3, s3, s1);          // next cyclic row
+    as.jump("row_loop");
+    as.label("rows_done");
+    emitBarrier(as, a2, a3, s2, s1, t0, t1);
+    as.addi(s0, s0, 1);
+    as.li(t0, params_.iters);
+    as.bne(s0, t0, "iter_loop");
+    as.halt();
+
+    return as.finish();
+}
+
+bool
+Stencil2D::check(const MemReader &read, std::uint32_t,
+                 std::string &error) const
+{
+    const std::uint64_t dim = params_.n + 2;
+    // Host model: identical sweeps.
+    std::vector<std::uint64_t> a(dim * dim), b(dim * dim);
+    Random rng(params_.seed);
+    for (std::uint64_t i = 0; i < dim * dim; ++i)
+        a[i] = b[i] = rng.range(0, 1'000'000);
+    for (std::uint64_t it = 0; it < params_.iters; ++it) {
+        const auto &src = (it % 2 == 0) ? a : b;
+        auto &dst = (it % 2 == 0) ? b : a;
+        for (std::uint64_t i = 1; i <= params_.n; ++i) {
+            for (std::uint64_t j = 1; j <= params_.n; ++j) {
+                dst[i * dim + j] =
+                    (src[(i - 1) * dim + j] + src[(i + 1) * dim + j] +
+                     src[i * dim + j - 1] + src[i * dim + j + 1]) >> 2;
+            }
+        }
+    }
+    const auto &final_host = (params_.iters % 2 == 0) ? a : b;
+    const Addr final_guest =
+        (params_.iters % 2 == 0) ? grid_a_ : grid_b_;
+    for (std::uint64_t i = 1; i <= params_.n; ++i) {
+        for (std::uint64_t j = 1; j <= params_.n; ++j) {
+            const std::uint64_t got =
+                read(final_guest + (i * dim + j) * 8, 8);
+            if (got != final_host[i * dim + j]) {
+                error = mismatch(name() + " cell (" + std::to_string(i)
+                                 + "," + std::to_string(j) + ")",
+                                 final_host[i * dim + j], got);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// IrregularUpdate
+// ---------------------------------------------------------------------
+
+isa::Program
+IrregularUpdate::build(std::uint32_t)
+{
+    flAssert(isPowerOf2(params_.bins), "bins must be a power of two");
+    Assembler as;
+    const Addr locks = as.alloc("locks", params_.bins * 64ULL, 64);
+    const Addr vals = as.alloc("vals", params_.bins * 64ULL, 64);
+    vals_addr_ = vals;
+
+    as.li(a0, locks);
+    as.li(a1, vals);
+    // Per-thread PRNG state: (tid + 1) * prime ^ seed.
+    as.li(t0, irregular_prime);
+    as.addi(t1, tp, 1);
+    as.mul(s6, t1, t0);
+    as.li(t0, params_.seed);
+    as.xor_(s6, s6, t0);
+    as.li(s0, params_.updates);
+
+    as.label("uloop");
+    emitXorshift(as, s6, t0);
+    as.srli(t1, s6, static_cast<std::int64_t>(params_.bin_shift));
+    as.andi(t1, t1, static_cast<std::int64_t>(params_.bins - 1));
+    as.slli(t1, t1, 6);
+    as.add(a2, a0, t1); // lock address
+    as.add(a3, a1, t1); // value address
+    emitSpinLockAcquire(as, a2, t0, t2);
+    as.ld(t4, a3);
+    as.andi(t5, s6, 0xff); // delta
+    as.add(t4, t4, t5);
+    as.st(t4, a3);
+    emitSpinLockRelease(as, a2);
+    as.addi(s0, s0, -1);
+    as.bne(s0, x0, "uloop");
+    as.halt();
+
+    return as.finish();
+}
+
+bool
+IrregularUpdate::check(const MemReader &read, std::uint32_t num_threads,
+                       std::string &error) const
+{
+    std::vector<std::uint64_t> expected(params_.bins, 0);
+    for (std::uint32_t t = 0; t < num_threads; ++t) {
+        std::uint64_t state =
+            ((t + 1) * irregular_prime) ^ params_.seed;
+        flAssert(state != 0, "degenerate xorshift seed");
+        for (std::uint64_t u = 0; u < params_.updates; ++u) {
+            state = xorshift64(state);
+            const unsigned bin =
+                (state >> params_.bin_shift) & (params_.bins - 1);
+            expected[bin] += state & 0xff;
+        }
+    }
+    for (unsigned b = 0; b < params_.bins; ++b) {
+        const std::uint64_t got = read(vals_addr_ + b * 64ULL, 8);
+        if (got != expected[b]) {
+            error = mismatch(name() + " bin " + std::to_string(b),
+                             expected[b], got);
+            return false;
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// RadixPartition
+// ---------------------------------------------------------------------
+
+isa::Program
+RadixPartition::build(std::uint32_t num_threads)
+{
+    flAssert(isPowerOf2(params_.buckets),
+             "buckets must be a power of two");
+    const std::uint64_t per = params_.items_per_thread;
+    const std::uint64_t total = per * num_threads;
+
+    Assembler as;
+    const Addr input = as.alloc("input", total * 8, 64);
+    const Addr counts = as.alloc("counts", params_.buckets * 8, 64);
+    const Addr offsets = as.alloc("offsets", params_.buckets * 8, 64);
+    const Addr out = as.alloc("out", total * 8, 64);
+    const Addr bar_count = as.paddedWord("bar_count", 0);
+    const Addr bar_sense = as.paddedWord("bar_sense", 0);
+    out_addr_ = out;
+    counts_addr_ = counts;
+
+    Random rng(params_.seed);
+    inputs_.assign(total, 0);
+    for (std::uint64_t i = 0; i < total; ++i) {
+        inputs_[i] = rng.next();
+        as.init64(input + i * 8, inputs_[i]);
+    }
+
+    const auto bucket_mask =
+        static_cast<std::int64_t>(params_.buckets - 1);
+
+    as.li(a2, bar_count);
+    as.li(a3, bar_sense);
+    as.csrr(s1, Csr::NumCores);
+    // My slice of the input.
+    as.li(t0, per * 8);
+    as.mul(t0, tp, t0);
+    as.li(a0, input);
+    as.add(a0, a0, t0);
+    as.li(a1, counts);
+    as.li(a4, offsets);
+    as.li(a5, out);
+
+    // --- phase 1: count ---
+    as.li(s0, per);
+    as.mv(s3, a0);
+    as.label("count_loop");
+    as.ld(t0, s3);
+    as.andi(t1, t0, bucket_mask);
+    as.slli(t1, t1, 3);
+    as.add(t1, a1, t1);
+    as.li(t2, 1);
+    as.amoadd(t3, t2, t1);
+    as.addi(s3, s3, 8);
+    as.addi(s0, s0, -1);
+    as.bne(s0, x0, "count_loop");
+
+    emitBarrier(as, a2, a3, s2, s1, t0, t1);
+
+    // --- phase 2: exclusive prefix scan (thread 0 only) ---
+    as.bne(tp, x0, "scan_done");
+    as.li(s0, 0);  // bucket index
+    as.li(s3, 0);  // running total
+    as.li(s5, params_.buckets);
+    as.label("scan_loop");
+    as.slli(t0, s0, 3);
+    as.add(t1, a1, t0);
+    as.ld(t2, t1); // count
+    as.add(t1, a4, t0);
+    as.st(s3, t1); // offsets[b] = acc
+    as.add(s3, s3, t2);
+    as.addi(s0, s0, 1);
+    as.bne(s0, s5, "scan_loop");
+    as.label("scan_done");
+
+    emitBarrier(as, a2, a3, s2, s1, t0, t1);
+
+    // --- phase 3: scatter ---
+    as.li(s0, per);
+    as.mv(s3, a0);
+    as.label("scatter_loop");
+    as.ld(t0, s3);
+    as.andi(t1, t0, bucket_mask);
+    as.slli(t1, t1, 3);
+    as.add(t1, a4, t1);
+    as.li(t2, 1);
+    as.amoadd(t3, t2, t1); // position = offsets[b]++
+    as.slli(t3, t3, 3);
+    as.add(t3, a5, t3);
+    as.st(t0, t3);
+    as.addi(s3, s3, 8);
+    as.addi(s0, s0, -1);
+    as.bne(s0, x0, "scatter_loop");
+    as.halt();
+
+    return as.finish();
+}
+
+bool
+RadixPartition::check(const MemReader &read, std::uint32_t num_threads,
+                      std::string &error) const
+{
+    const std::uint64_t total =
+        params_.items_per_thread * num_threads;
+    flAssert(inputs_.size() == total,
+             "check before build for radix-partition");
+
+    // Host model: bucket boundaries and input checksum.
+    std::vector<std::uint64_t> counts(params_.buckets, 0);
+    std::uint64_t input_sum = 0;
+    for (std::uint64_t v : inputs_) {
+        ++counts[v & (params_.buckets - 1)];
+        input_sum += v;
+    }
+    std::vector<std::uint64_t> starts(params_.buckets, 0);
+    for (unsigned b = 1; b < params_.buckets; ++b)
+        starts[b] = starts[b - 1] + counts[b - 1];
+
+    for (unsigned b = 0; b < params_.buckets; ++b) {
+        const std::uint64_t got = read(counts_addr_ + b * 8, 8);
+        if (got != counts[b]) {
+            error = mismatch(name() + " count " + std::to_string(b),
+                             counts[b], got);
+            return false;
+        }
+    }
+
+    std::uint64_t out_sum = 0;
+    for (unsigned b = 0; b < params_.buckets; ++b) {
+        for (std::uint64_t i = starts[b]; i < starts[b] + counts[b];
+             ++i) {
+            const std::uint64_t v = read(out_addr_ + i * 8, 8);
+            out_sum += v;
+            if ((v & (params_.buckets - 1)) != b) {
+                error = name() + " element at " + std::to_string(i)
+                        + " not in bucket " + std::to_string(b);
+                return false;
+            }
+        }
+    }
+    if (out_sum != input_sum) {
+        error = mismatch(name() + " checksum", input_sum, out_sum);
+        return false;
+    }
+    return true;
+}
+
+
+// ---------------------------------------------------------------------
+// MatmulBlocked
+// ---------------------------------------------------------------------
+
+isa::Program
+MatmulBlocked::build(std::uint32_t)
+{
+    const std::uint64_t n = params_.n;
+    Assembler as;
+    const Addr a_mat = as.alloc("a_mat", n * n * 8, 64);
+    const Addr b_mat = as.alloc("b_mat", n * n * 8, 64);
+    const Addr c_mat = as.alloc("c_mat", n * n * 8, 64);
+    const Addr bar_count = as.paddedWord("bar_count", 0);
+    const Addr bar_sense = as.paddedWord("bar_sense", 0);
+    c_addr_ = c_mat;
+
+    Random rng(params_.seed);
+    a_.assign(n * n, 0);
+    b_.assign(n * n, 0);
+    for (std::uint64_t i = 0; i < n * n; ++i) {
+        a_[i] = rng.range(0, 1'000);
+        b_[i] = rng.range(0, 1'000);
+        as.init64(a_mat + i * 8, a_[i]);
+        as.init64(b_mat + i * 8, b_[i]);
+    }
+
+    const auto row_bytes = static_cast<std::int64_t>(n * 8);
+
+    as.li(a0, a_mat);
+    as.li(a1, b_mat);
+    as.li(a2, c_mat);
+    as.li(a3, bar_count);
+    as.li(a4, bar_sense);
+    as.csrr(s1, Csr::NumCores);
+    as.li(s4, n);
+    as.li(s5, row_bytes);
+
+    // i-k-j loop nest over my (cyclic) rows.
+    as.mv(s3, tp); // i
+    as.label("i_loop");
+    as.bgeu(s3, s4, "i_done");
+    as.mul(t0, s3, s5);
+    as.add(s6, a0, t0); // &A[i][0]
+    as.add(s7, a2, t0); // &C[i][0]
+    as.li(s8, 0);       // k
+    as.label("k_loop");
+    as.slli(t0, s8, 3);
+    as.add(t0, s6, t0);
+    as.ld(s9, t0);      // t = A[i][k]
+    as.mul(t0, s8, s5);
+    as.add(s10, a1, t0); // &B[k][0]
+    as.li(s11, 0);       // j
+    as.label("j_loop");
+    as.slli(t0, s11, 3);
+    as.add(t1, s10, t0); // &B[k][j]
+    as.ld(t2, t1);
+    as.mul(t2, s9, t2);
+    as.add(t1, s7, t0);  // &C[i][j]
+    as.ld(t3, t1);
+    as.add(t3, t3, t2);
+    as.st(t3, t1);
+    as.addi(s11, s11, 1);
+    as.bne(s11, s4, "j_loop");
+    as.addi(s8, s8, 1);
+    as.bne(s8, s4, "k_loop");
+    as.add(s3, s3, s1); // next cyclic row
+    as.jump("i_loop");
+    as.label("i_done");
+    emitBarrier(as, a3, a4, s2, s1, t0, t1);
+    as.halt();
+
+    return as.finish();
+}
+
+bool
+MatmulBlocked::check(const MemReader &read, std::uint32_t,
+                     std::string &error) const
+{
+    const std::uint64_t n = params_.n;
+    flAssert(a_.size() == n * n, "check before build for matmul");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        for (std::uint64_t j = 0; j < n; ++j) {
+            std::uint64_t expected = 0;
+            for (std::uint64_t k = 0; k < n; ++k)
+                expected += a_[i * n + k] * b_[k * n + j];
+            const std::uint64_t got = read(c_addr_ + (i * n + j) * 8,
+                                           8);
+            if (got != expected) {
+                error = mismatch(name() + " C(" + std::to_string(i)
+                                 + "," + std::to_string(j) + ")",
+                                 expected, got);
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
+// Pipeline
+// ---------------------------------------------------------------------
+
+isa::Program
+Pipeline::build(std::uint32_t num_threads)
+{
+    flAssert(num_threads >= 2, "pipeline needs at least two stages");
+    const std::uint64_t items = params_.items;
+    const std::uint32_t stages = num_threads;
+
+    Assembler as;
+    // One SPSC channel between consecutive stages: channel t carries
+    // stage t -> t+1.  No wraparound: slot per item.
+    const std::uint64_t chan_bytes = items * 8;
+    const Addr data = as.alloc("data", (stages - 1) * chan_bytes, 64);
+    const Addr ready = as.alloc("ready", (stages - 1) * chan_bytes, 64);
+    const Addr sum = as.paddedWord("sum", 0);
+    sum_addr_ = sum;
+
+    // Channel base helpers: in = channel tid-1, out = channel tid.
+    as.li(t0, chan_bytes);
+    as.mul(t1, tp, t0); // tid * chan_bytes
+    as.li(a0, data);
+    as.add(a0, a0, t1); // my OUT data base (stage tid)
+    as.li(a1, ready);
+    as.add(a1, a1, t1); // my OUT ready base
+    as.sub(t1, t1, t0); // (tid-1) * chan_bytes
+    as.li(a2, data);
+    as.add(a2, a2, t1); // my IN data base
+    as.li(a3, ready);
+    as.add(a3, a3, t1); // my IN ready base
+    as.li(s5, items);
+
+    as.beq(tp, x0, "producer");
+    as.csrr(t0, Csr::NumCores);
+    as.addi(t0, t0, -1);
+    as.beq(tp, t0, "sink");
+
+    // --- intermediate stage: read, +1, forward ---
+    as.li(s0, 0); // index
+    as.label("mid_loop");
+    as.slli(t2, s0, 3);
+    as.add(t3, a3, t2);
+    as.label("mid_wait");
+    as.ld(t4, t3);
+    as.bne(t4, x0, "mid_got");
+    as.pause();
+    as.jump("mid_wait");
+    as.label("mid_got");
+    as.fenceAcquire();
+    as.add(t4, a2, t2);
+    as.ld(t5, t4);
+    as.addi(t5, t5, 1); // the stage transform
+    as.add(t4, a0, t2);
+    as.st(t5, t4);
+    as.fenceRelease();
+    as.add(t4, a1, t2);
+    as.li(t5, 1);
+    as.st(t5, t4);
+    as.addi(s0, s0, 1);
+    as.bne(s0, s5, "mid_loop");
+    as.halt();
+
+    // --- producer: emit 1..items ---
+    as.label("producer");
+    as.li(s0, 0);
+    as.label("p_loop");
+    as.slli(t2, s0, 3);
+    as.add(t4, a0, t2);
+    as.addi(t5, s0, 1); // value = index + 1
+    as.st(t5, t4);
+    as.fenceRelease();
+    as.add(t4, a1, t2);
+    as.li(t5, 1);
+    as.st(t5, t4);
+    as.addi(s0, s0, 1);
+    as.bne(s0, s5, "p_loop");
+    as.halt();
+
+    // --- sink: accumulate ---
+    as.label("sink");
+    as.li(s0, 0);
+    as.li(s2, 0);
+    as.label("s_loop");
+    as.slli(t2, s0, 3);
+    as.add(t3, a3, t2);
+    as.label("s_wait");
+    as.ld(t4, t3);
+    as.bne(t4, x0, "s_got");
+    as.pause();
+    as.jump("s_wait");
+    as.label("s_got");
+    as.fenceAcquire();
+    as.add(t4, a2, t2);
+    as.ld(t5, t4);
+    as.add(s2, s2, t5);
+    as.addi(s0, s0, 1);
+    as.bne(s0, s5, "s_loop");
+    as.li(t0, sum);
+    as.st(s2, t0);
+    as.halt();
+
+    return as.finish();
+}
+
+bool
+Pipeline::check(const MemReader &read, std::uint32_t num_threads,
+                std::string &error) const
+{
+    const std::uint64_t items = params_.items;
+    // Each of the (stages - 2) intermediate stages adds one.
+    const std::uint64_t transforms = num_threads - 2;
+    const std::uint64_t expected =
+        items * (items + 1) / 2 + items * transforms;
+    const std::uint64_t got = read(sum_addr_, 8);
+    if (got != expected) {
+        error = mismatch(name() + " sum", expected, got);
+        return false;
+    }
+    return true;
+}
+
+} // namespace fenceless::workload

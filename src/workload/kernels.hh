@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Synthetic SPLASH-class kernels: barrier-structured scientific code
+ * (stencil), fine-grained-locking irregular updates, and an atomic
+ * counting sort partition.  Each is checked against a host-side model
+ * of the identical computation.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace fenceless::workload
+{
+
+/**
+ * Jacobi 4-point stencil on an (n+2)^2 grid, rows distributed
+ * cyclically, one barrier per sweep (ocean-like).
+ */
+class Stencil2D : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t n = 16;    //!< interior grid dimension
+        std::uint64_t iters = 4; //!< sweeps
+        std::uint64_t seed = 7;  //!< initial grid values
+    };
+
+    Stencil2D() = default;
+    explicit Stencil2D(const Params &p) : params_(p) {}
+
+    std::string name() const override { return "stencil2d"; }
+    isa::Program build(std::uint32_t num_threads) override;
+    bool check(const MemReader &read, std::uint32_t num_threads,
+               std::string &error) const override;
+
+  private:
+    Params params_;
+    Addr grid_a_ = 0;
+    Addr grid_b_ = 0;
+};
+
+/**
+ * Irregular updates: each thread applies pseudo-random deltas to
+ * pseudo-randomly chosen bins, each protected by its own spin lock
+ * (barnes-like fine-grained locking).
+ */
+class IrregularUpdate : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t updates = 256; //!< per thread
+        unsigned bins = 32;          //!< power of two
+        std::uint64_t seed = 11;
+        unsigned bin_shift = 5;      //!< state bits selecting the bin
+    };
+
+    IrregularUpdate() = default;
+    explicit IrregularUpdate(const Params &p) : params_(p) {}
+
+    std::string name() const override { return "irregular-update"; }
+    isa::Program build(std::uint32_t num_threads) override;
+    bool check(const MemReader &read, std::uint32_t num_threads,
+               std::string &error) const override;
+
+  private:
+    Params params_;
+    Addr vals_addr_ = 0;
+};
+
+/**
+ * One pass of a radix partition: atomic per-bucket counting, a serial
+ * prefix scan, then an atomic scatter (radix-sort-like).
+ */
+class RadixPartition : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t items_per_thread = 128;
+        unsigned buckets = 16; //!< power of two
+        std::uint64_t seed = 13;
+    };
+
+    RadixPartition() = default;
+    explicit RadixPartition(const Params &p) : params_(p) {}
+
+    std::string name() const override { return "radix-partition"; }
+    isa::Program build(std::uint32_t num_threads) override;
+    bool check(const MemReader &read, std::uint32_t num_threads,
+               std::string &error) const override;
+
+  private:
+    Params params_;
+    Addr out_addr_ = 0;
+    Addr counts_addr_ = 0;
+    std::vector<std::uint64_t> inputs_;
+};
+
+/**
+ * Dense matrix multiply (C = A x B, wrapping uint64 arithmetic), rows
+ * distributed cyclically.  Inputs are read-shared by every core; the
+ * outputs are disjoint -- a data-parallel kernel whose only ordering
+ * point is the terminal barrier (lu-like read sharing).
+ */
+class MatmulBlocked : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t n = 12;   //!< matrix dimension
+        std::uint64_t seed = 17;
+    };
+
+    MatmulBlocked() = default;
+    explicit MatmulBlocked(const Params &p) : params_(p) {}
+
+    std::string name() const override { return "matmul"; }
+    isa::Program build(std::uint32_t num_threads) override;
+    bool check(const MemReader &read, std::uint32_t num_threads,
+               std::string &error) const override;
+
+  private:
+    Params params_;
+    Addr c_addr_ = 0;
+    std::vector<std::uint64_t> a_, b_;
+};
+
+/**
+ * A software pipeline: thread 0 produces a stream, every intermediate
+ * stage transforms (+1) and forwards through its own single-producer/
+ * single-consumer channel, the final stage accumulates.  A chain of
+ * release/acquire publications (streamcluster-like stage handoff).
+ */
+class Pipeline : public Workload
+{
+  public:
+    struct Params
+    {
+        std::uint64_t items = 128;
+    };
+
+    Pipeline() = default;
+    explicit Pipeline(const Params &p) : params_(p) {}
+
+    std::string name() const override { return "pipeline"; }
+    isa::Program build(std::uint32_t num_threads) override;
+    bool check(const MemReader &read, std::uint32_t num_threads,
+               std::string &error) const override;
+    std::uint32_t minThreads() const override { return 2; }
+
+  private:
+    Params params_;
+    Addr sum_addr_ = 0;
+};
+
+} // namespace fenceless::workload

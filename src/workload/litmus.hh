@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Memory-model litmus tests.
+ *
+ * Classic two-thread (and four-thread) shapes whose outcome sets
+ * distinguish SC, TSO and RMO -- and validate that fence speculation is
+ * *performance*-transparent, not semantics-changing: a speculative
+ * configuration must produce exactly the outcomes its consistency model
+ * allows.
+ *
+ * Each program takes per-thread startup skews (busy-wait iterations) so
+ * a deterministic simulator still explores many interleavings: the
+ * runner sweeps skew pairs and collects the set of observed outcomes.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace fenceless::harness
+{
+struct SystemConfig;
+}
+
+namespace fenceless::workload
+{
+
+/** Observed final values of the litmus result registers. */
+using LitmusOutcome = std::vector<std::uint64_t>;
+
+/** A litmus shape: builds a program for given startup skews. */
+class LitmusTest
+{
+  public:
+    virtual ~LitmusTest() = default;
+
+    virtual const char *name() const = 0;
+
+    /** Number of observed result slots. */
+    virtual unsigned numResults() const = 0;
+
+    /** Threads the shape needs. */
+    virtual std::uint32_t numThreads() const { return 2; }
+
+    /**
+     * Build the program.
+     * @param skews  per-thread startup busy-wait iterations
+     */
+    virtual isa::Program build(
+        const std::vector<std::uint64_t> &skews) const = 0;
+
+    /** Address of result slot @p i (valid after build). */
+    Addr resultAddr(unsigned i) const { return result_base_ + i * 64; }
+
+  protected:
+    mutable Addr result_base_ = 0;
+};
+
+/**
+ * Store buffering (Dekker core):
+ *   T0: X=1; r0=Y        T1: Y=1; r1=X
+ * (r0,r1) == (0,0) is forbidden under SC, observable under TSO/RMO
+ * without fences, forbidden again with a full fence between the store
+ * and the load.
+ */
+class LitmusSB : public LitmusTest
+{
+  public:
+    explicit LitmusSB(bool with_fences) : with_fences_(with_fences) {}
+
+    const char *name() const override
+    {
+        return with_fences_ ? "SB+fences" : "SB";
+    }
+
+    unsigned numResults() const override { return 2; }
+    isa::Program build(
+        const std::vector<std::uint64_t> &skews) const override;
+
+  private:
+    bool with_fences_;
+};
+
+/**
+ * Message passing:
+ *   T0: data=1; flag=1   T1: r0=flag; r1=data
+ * (r0,r1) == (1,0) is forbidden under SC/TSO (store-store and
+ * load-load order), observable under RMO without a release fence
+ * between the data and flag stores, forbidden with it.
+ */
+class LitmusMP : public LitmusTest
+{
+  public:
+    explicit LitmusMP(bool with_release) : with_release_(with_release) {}
+
+    const char *name() const override
+    {
+        return with_release_ ? "MP+release" : "MP";
+    }
+
+    unsigned numResults() const override { return 2; }
+    isa::Program build(
+        const std::vector<std::uint64_t> &skews) const override;
+
+  private:
+    bool with_release_;
+};
+
+/**
+ * Independent reads of independent writes (4 threads): writers W(X)=1,
+ * W(Y)=1; readers observe (X,Y) in opposite orders.  Readers disagreeing
+ * on the write order -- (1,0) and (1,0) crosswise -- is forbidden under
+ * SC; with full fences between the reader loads it is forbidden under
+ * every model this simulator implements (write atomicity comes from the
+ * invalidation protocol).
+ */
+class LitmusIRIW : public LitmusTest
+{
+  public:
+    explicit LitmusIRIW(bool with_fences) : with_fences_(with_fences) {}
+
+    const char *name() const override
+    {
+        return with_fences_ ? "IRIW+fences" : "IRIW";
+    }
+
+    unsigned numResults() const override { return 4; }
+    std::uint32_t numThreads() const override { return 4; }
+    isa::Program build(
+        const std::vector<std::uint64_t> &skews) const override;
+
+  private:
+    bool with_fences_;
+};
+
+/**
+ * Coherence read-read (CoRR): T0 writes X=1; T1 reads X twice.
+ * (r0, r1) == (1, 0) -- new then old -- is forbidden under *every*
+ * model: per-location coherence order is not relaxable.
+ */
+class LitmusCoRR : public LitmusTest
+{
+  public:
+    const char *name() const override { return "CoRR"; }
+    unsigned numResults() const override { return 2; }
+    isa::Program build(
+        const std::vector<std::uint64_t> &skews) const override;
+};
+
+/**
+ * 2+2W: T0 {X=1; Y=2}  T1 {Y=1; X=2}.  The final state (X,Y) == (1,1)
+ * requires both second writes to be ordered before both first writes
+ * -- forbidden under SC/TSO (store-store order), observable under RMO.
+ */
+class Litmus22W : public LitmusTest
+{
+  public:
+    explicit Litmus22W(bool with_release) : with_release_(with_release)
+    {}
+
+    const char *name() const override
+    {
+        return with_release_ ? "2+2W+release" : "2+2W";
+    }
+
+    unsigned numResults() const override { return 2; }
+    isa::Program build(
+        const std::vector<std::uint64_t> &skews) const override;
+
+  private:
+    bool with_release_;
+};
+
+/**
+ * Run @p test under @p config for every skew combination in
+ * [0, max_skew) x stride and collect the set of outcomes.
+ */
+std::set<LitmusOutcome> runLitmus(const LitmusTest &test,
+                                  const harness::SystemConfig &config,
+                                  std::uint64_t max_skew = 24,
+                                  std::uint64_t stride = 3);
+
+/** @return true if @p outcomes contains @p outcome. */
+bool contains(const std::set<LitmusOutcome> &outcomes,
+              const LitmusOutcome &outcome);
+
+} // namespace fenceless::workload

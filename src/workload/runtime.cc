@@ -1,0 +1,127 @@
+#include "workload/runtime.hh"
+
+#include <atomic>
+
+#include "isa/inst.hh"
+
+namespace fenceless::workload
+{
+
+using namespace isa;
+
+std::string
+uniqueLabel(const std::string &tag)
+{
+    static std::uint64_t counter = 0;
+    return "rt" + std::to_string(counter++) + "_" + tag;
+}
+
+void
+emitSpinLockAcquire(Assembler &as, RegId lock_addr, RegId scratch0,
+                    RegId scratch1)
+{
+    const std::string l_try = uniqueLabel("try");
+    const std::string l_spin = uniqueLabel("spin");
+    const std::string l_got = uniqueLabel("got");
+
+    as.li(scratch1, 1);
+    as.label(l_try);
+    as.amoswap(scratch0, scratch1, lock_addr);
+    as.beq(scratch0, x0, l_got);
+    as.label(l_spin);
+    as.pause();
+    as.ld(scratch0, lock_addr);
+    as.bne(scratch0, x0, l_spin);
+    as.jump(l_try);
+    as.label(l_got);
+    as.fenceAcquire();
+}
+
+void
+emitSpinLockRelease(Assembler &as, RegId lock_addr)
+{
+    as.fenceRelease();
+    as.st(x0, lock_addr);
+}
+
+void
+emitTicketLockAcquire(Assembler &as, RegId next_addr, RegId serving_addr,
+                      RegId scratch0, RegId scratch1)
+{
+    const std::string l_spin = uniqueLabel("tkspin");
+    const std::string l_got = uniqueLabel("tkgot");
+
+    as.li(scratch1, 1);
+    as.amoadd(scratch0, scratch1, next_addr); // scratch0 = my ticket
+    as.label(l_spin);
+    as.ld(scratch1, serving_addr);
+    as.beq(scratch1, scratch0, l_got);
+    as.pause();
+    as.jump(l_spin);
+    as.label(l_got);
+    as.fenceAcquire();
+}
+
+void
+emitTicketLockRelease(Assembler &as, RegId serving_addr, RegId scratch0)
+{
+    as.fenceRelease();
+    // Only the lock holder writes now-serving; a plain RMW is safe.
+    as.ld(scratch0, serving_addr);
+    as.addi(scratch0, scratch0, 1);
+    as.st(scratch0, serving_addr);
+}
+
+void
+emitBarrier(Assembler &as, RegId count_addr, RegId sense_addr,
+            RegId local_sense, RegId num_threads, RegId scratch0,
+            RegId scratch1)
+{
+    const std::string l_wait = uniqueLabel("bwait");
+    const std::string l_done = uniqueLabel("bdone");
+
+    as.xori(local_sense, local_sense, 1);
+    as.li(scratch1, 1);
+    as.amoadd(scratch0, scratch1, count_addr);
+    as.addi(scratch0, scratch0, 1);
+    as.bne(scratch0, num_threads, l_wait);
+    // Last arriver: reset the count, then publish the new sense.  The
+    // release edge orders the reset before the publication.
+    as.st(x0, count_addr);
+    as.fenceRelease();
+    as.st(local_sense, sense_addr);
+    as.jump(l_done);
+    as.label(l_wait);
+    as.ld(scratch0, sense_addr);
+    as.beq(scratch0, local_sense, l_done);
+    as.pause();
+    as.jump(l_wait);
+    as.label(l_done);
+    as.fenceAcquire();
+}
+
+void
+emitXorshift(Assembler &as, RegId state_reg, RegId scratch)
+{
+    // x ^= x << 13; x ^= x >> 7; x ^= x << 17
+    as.slli(scratch, state_reg, 13);
+    as.xor_(state_reg, state_reg, scratch);
+    as.srli(scratch, state_reg, 7);
+    as.xor_(state_reg, state_reg, scratch);
+    as.slli(scratch, state_reg, 17);
+    as.xor_(state_reg, state_reg, scratch);
+}
+
+void
+emitDelay(Assembler &as, RegId scratch, std::uint64_t iterations)
+{
+    if (iterations == 0)
+        return;
+    const std::string l_loop = uniqueLabel("delay");
+    as.li(scratch, iterations);
+    as.label(l_loop);
+    as.addi(scratch, scratch, -1);
+    as.bne(scratch, x0, l_loop);
+}
+
+} // namespace fenceless::workload

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The guest-side parallel runtime: synchronization primitives emitted as
+ * mini-ISA code sequences.
+ *
+ * Each emitter inlines one operation at the current assembly position,
+ * using caller-provided scratch registers and internally generated
+ * unique labels.  These are the code sequences whose ordering points
+ * (atomics, acquire/release/full fences) the fence-speculation hardware
+ * targets, so they are written exactly as a production runtime would
+ * write them for each consistency model: lock acquire ends in an acquire
+ * fence, release starts with a release fence, the sense-reversing
+ * barrier publishes with a release edge and consumes with an acquire
+ * edge.
+ */
+
+#pragma once
+
+#include <string>
+
+#include "base/types.hh"
+#include "isa/assembler.hh"
+
+namespace fenceless::workload
+{
+
+using isa::Assembler;
+using isa::RegId;
+
+/** Produce a fresh unique label with the given tag. */
+std::string uniqueLabel(const std::string &tag);
+
+/**
+ * Test-and-test-and-set spin lock acquire.
+ * The lock word (8 bytes) lives at the address in @p lock_addr.
+ * Clobbers @p scratch0 and @p scratch1.
+ */
+void emitSpinLockAcquire(Assembler &as, RegId lock_addr, RegId scratch0,
+                         RegId scratch1);
+
+/** Spin lock release (release fence + store 0). */
+void emitSpinLockRelease(Assembler &as, RegId lock_addr);
+
+/**
+ * Ticket lock acquire.  The lock is two padded words: next-ticket at
+ * @p next_addr, now-serving at @p serving_addr (register operands).
+ * Clobbers @p scratch0 and @p scratch1.
+ */
+void emitTicketLockAcquire(Assembler &as, RegId next_addr,
+                           RegId serving_addr, RegId scratch0,
+                           RegId scratch1);
+
+/** Ticket lock release (release fence + increment now-serving). */
+void emitTicketLockRelease(Assembler &as, RegId serving_addr,
+                           RegId scratch0);
+
+/**
+ * Sense-reversing centralized barrier.
+ *
+ * The barrier is two padded words: arrival count at @p count_addr and
+ * the global sense at @p sense_addr.  @p local_sense must be a register
+ * dedicated to this barrier, initialised to 0 before first use; the
+ * emitter toggles it.  @p num_threads holds the participant count.
+ * Clobbers @p scratch0 and @p scratch1.
+ */
+void emitBarrier(Assembler &as, RegId count_addr, RegId sense_addr,
+                 RegId local_sense, RegId num_threads, RegId scratch0,
+                 RegId scratch1);
+
+/**
+ * A deterministic xorshift64 step on @p state_reg (a cheap in-guest
+ * PRNG used by irregular workloads).  Clobbers @p scratch.
+ */
+void emitXorshift(Assembler &as, RegId state_reg, RegId scratch);
+
+/**
+ * A busy-wait of @p cycles iterations (2 instructions each) used to
+ * model non-critical work.  Clobbers @p scratch.
+ */
+void emitDelay(Assembler &as, RegId scratch, std::uint64_t iterations);
+
+} // namespace fenceless::workload

@@ -1,0 +1,92 @@
+#include "workload/workload.hh"
+
+#include "workload/kernels.hh"
+#include "workload/microbench.hh"
+
+namespace fenceless::workload
+{
+
+std::vector<WorkloadPtr>
+microSuite(unsigned scale)
+{
+    std::vector<WorkloadPtr> suite;
+
+    SpinlockCrit::Params spin;
+    spin.iters = 100ULL * scale;
+    suite.push_back(std::make_unique<SpinlockCrit>(spin));
+
+    TicketLockCrit::Params ticket;
+    ticket.iters = 100ULL * scale;
+    suite.push_back(std::make_unique<TicketLockCrit>(ticket));
+
+    BarrierPhase::Params barrier;
+    barrier.phases = 32ULL * scale;
+    suite.push_back(std::make_unique<BarrierPhase>(barrier));
+
+    Dekker::Params dekker;
+    dekker.iters = 200ULL * scale;
+    suite.push_back(std::make_unique<Dekker>(dekker));
+
+    ProdCons::Params pc;
+    pc.items = 256ULL * scale;
+    suite.push_back(std::make_unique<ProdCons>(pc));
+
+    MpmcQueue::Params mpmc;
+    mpmc.items_per_producer = 128ULL * scale;
+    suite.push_back(std::make_unique<MpmcQueue>(mpmc));
+
+    SeqlockReaders::Params seqlock;
+    seqlock.writes = 128ULL * scale;
+    seqlock.reads = 256ULL * scale;
+    suite.push_back(std::make_unique<SeqlockReaders>(seqlock));
+
+    LocalLockStream::Params local;
+    local.iters = 64ULL * scale;
+    suite.push_back(std::make_unique<LocalLockStream>(local));
+
+    AtomicHistogram::Params hist;
+    hist.items_per_thread = 256ULL * scale;
+    suite.push_back(std::make_unique<AtomicHistogram>(hist));
+
+    return suite;
+}
+
+std::vector<WorkloadPtr>
+kernelSuite(unsigned scale)
+{
+    std::vector<WorkloadPtr> suite;
+
+    Stencil2D::Params stencil;
+    stencil.n = 16;
+    stencil.iters = 4ULL * scale;
+    suite.push_back(std::make_unique<Stencil2D>(stencil));
+
+    IrregularUpdate::Params irregular;
+    irregular.updates = 256ULL * scale;
+    suite.push_back(std::make_unique<IrregularUpdate>(irregular));
+
+    RadixPartition::Params radix;
+    radix.items_per_thread = 128ULL * scale;
+    suite.push_back(std::make_unique<RadixPartition>(radix));
+
+    MatmulBlocked::Params matmul;
+    matmul.n = 8 + 4ULL * scale;
+    suite.push_back(std::make_unique<MatmulBlocked>(matmul));
+
+    Pipeline::Params pipeline;
+    pipeline.items = 128ULL * scale;
+    suite.push_back(std::make_unique<Pipeline>(pipeline));
+
+    return suite;
+}
+
+std::vector<WorkloadPtr>
+standardSuite(unsigned scale)
+{
+    auto suite = microSuite(scale);
+    for (auto &k : kernelSuite(scale))
+        suite.push_back(std::move(k));
+    return suite;
+}
+
+} // namespace fenceless::workload

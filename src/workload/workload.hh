@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The workload interface: a multithreaded guest program plus a
+ * postcondition checker.
+ *
+ * Every workload builds one program image executed by all hardware
+ * threads (behaviour dispatched on the Tid CSR) and can verify the final
+ * memory image produced by a run -- either against a host-side model of
+ * the same computation or against program-level invariants (e.g. "the
+ * guest-side violation counter is zero", which turns consistency bugs
+ * into test failures).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "isa/program.hh"
+
+namespace fenceless::workload
+{
+
+/** Functional reader over the final (coherent) memory image. */
+using MemReader = std::function<std::uint64_t(Addr, unsigned)>;
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Short identifier used in benchmark tables. */
+    virtual std::string name() const = 0;
+
+    /** Build the program for @p num_threads hardware threads. */
+    virtual isa::Program build(std::uint32_t num_threads) = 0;
+
+    /**
+     * Check the final memory image of a run.
+     * @param read         functional memory reader
+     * @param num_threads  thread count the program was built for
+     * @param error        filled with a diagnostic on failure
+     * @return true if every postcondition holds
+     */
+    virtual bool check(const MemReader &read, std::uint32_t num_threads,
+                       std::string &error) const = 0;
+
+    /** Minimum thread count the workload supports. */
+    virtual std::uint32_t minThreads() const { return 1; }
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/**
+ * The standard benchmark suite (one instance of every workload), scaled
+ * by @p scale (1 = the size used by the unit tests; benches use larger).
+ */
+std::vector<WorkloadPtr> standardSuite(unsigned scale = 1);
+
+/** The synchronization microbenchmarks only. */
+std::vector<WorkloadPtr> microSuite(unsigned scale = 1);
+
+/** The SPLASH-class kernels only. */
+std::vector<WorkloadPtr> kernelSuite(unsigned scale = 1);
+
+} // namespace fenceless::workload

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Harness tests: option parsing, table rendering, System-level
+ * functional reads and aggregate queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/options.hh"
+#include "harness/table.hh"
+#include "isa/assembler.hh"
+#include "tests/sim_test_util.hh"
+
+using namespace fenceless;
+using namespace fenceless::harness;
+using namespace fenceless::test;
+
+namespace
+{
+
+Options
+parse(std::vector<std::string> args)
+{
+    std::vector<char *> argv;
+    static std::vector<std::string> storage;
+    storage = std::move(args);
+    storage.insert(storage.begin(), "prog");
+    for (auto &s : storage)
+        argv.push_back(s.data());
+    return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+} // namespace
+
+TEST(Options, DefaultsWhenEmpty)
+{
+    Options opts = parse({});
+    EXPECT_FALSE(opts.csv());
+    EXPECT_EQ(opts.scale(), 1u);
+    SystemConfig base;
+    SystemConfig cfg = opts.applyTo(base);
+    EXPECT_EQ(cfg.num_cores, base.num_cores);
+    EXPECT_EQ(cfg.model, base.model);
+}
+
+TEST(Options, AppliesMachineSettings)
+{
+    Options opts = parse({"--cores=12", "--model=rmo",
+                          "--spec=continuous", "--sb-size=8",
+                          "--l1-kb=16", "--l2-kb=512",
+                          "--dram-latency=200", "--net-latency=3"});
+    SystemConfig cfg = opts.applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.num_cores, 12u);
+    EXPECT_EQ(cfg.model, cpu::ConsistencyModel::RMO);
+    EXPECT_EQ(cfg.spec.mode, spec::SpecMode::Continuous);
+    EXPECT_EQ(cfg.sb_size, 8u);
+    EXPECT_EQ(cfg.l1.size, 16u * 1024);
+    EXPECT_EQ(cfg.l2.size, 512u * 1024);
+    EXPECT_EQ(cfg.l2.dram_latency, 200u);
+    EXPECT_EQ(cfg.net.latency, 3u);
+}
+
+TEST(Options, GranularityAndOverflow)
+{
+    Options opts = parse({"--granularity=per-store",
+                          "--overflow=rollback", "--spec=on-demand"});
+    SystemConfig cfg = opts.applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.spec.granularity, spec::Granularity::PerStore);
+    EXPECT_EQ(cfg.spec.overflow, spec::OverflowPolicy::Rollback);
+    EXPECT_EQ(cfg.spec.mode, spec::SpecMode::OnDemand);
+}
+
+TEST(Options, CsvScaleSeed)
+{
+    Options opts = parse({"--csv", "--scale=5", "--seed=99"});
+    EXPECT_TRUE(opts.csv());
+    EXPECT_EQ(opts.scale(), 5u);
+    EXPECT_EQ(opts.seed(), 99u);
+}
+
+TEST(Options, UnknownOptionIsFatal)
+{
+    EXPECT_EXIT(parse({"--bogus"}), testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(Options, BadNumberIsFatal)
+{
+    EXPECT_EXIT(parse({"--cores=banana"}).applyTo(SystemConfig{}),
+                testing::ExitedWithCode(1), "expects a number");
+}
+
+TEST(Table, AlignedRendering)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer-name", "12345"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    EXPECT_NE(out.find("12345"), std::string::npos);
+    // All lines equal width (aligned columns).
+    std::istringstream is(out);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width) << "line: " << line;
+    }
+}
+
+TEST(Table, CsvRendering)
+{
+    Table t({"a", "b"});
+    t.addRow({"x", "1"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\nx,1\n");
+}
+
+TEST(Table, Fmt)
+{
+    EXPECT_EQ(fmt(1.2345), "1.23");
+    EXPECT_EQ(fmt(1.2345, 3), "1.234");
+    EXPECT_EQ(fmt(10.0, 0), "10");
+}
+
+TEST(SystemQueries, DebugReadSeesFreshestCopy)
+{
+    // Core 0 writes and keeps the block in M; debugRead must return the
+    // L1 copy, not the stale L2/DRAM one.
+    isa::Assembler as;
+    const Addr var = as.word("var", 1);
+    as.bne(isa::tp, isa::x0, "done");
+    as.li(isa::a0, var);
+    as.li(isa::t0, 99);
+    as.st(isa::t0, isa::a0);
+    as.label("done");
+    as.halt();
+    isa::Program prog = as.finish();
+
+    harness::System sys(testConfig(2), prog);
+    ASSERT_TRUE(sys.run());
+    const mem::L1Block *blk = sys.l1(0).findBlock(var);
+    ASSERT_NE(blk, nullptr);
+    EXPECT_EQ(blk->state, mem::L1State::M);
+    EXPECT_EQ(sys.debugRead(var, 8), 99u);
+}
+
+TEST(SystemQueries, AggregatesAndQuiescence)
+{
+    isa::Assembler as;
+    as.nop();
+    as.halt();
+    isa::Program prog = as.finish();
+
+    harness::SystemConfig cfg = testConfig(3);
+    cfg.spec.mode = spec::SpecMode::OnDemand;
+    harness::System sys(cfg, prog);
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(sys.totalInstructions(), 6u); // (nop + halt) x 3
+    EXPECT_EQ(sys.totalCommits(), 0u);
+    EXPECT_EQ(sys.totalRollbacks(), 0u);
+    EXPECT_TRUE(sys.quiesced());
+    EXPECT_NE(sys.specController(0), nullptr);
+}
+
+TEST(SystemQueries, TimeoutReported)
+{
+    isa::Assembler as;
+    as.label("spin");
+    as.jump("spin");
+    isa::Program prog = as.finish();
+
+    harness::SystemConfig cfg = testConfig(1);
+    cfg.max_cycles = 5000;
+    harness::System sys(cfg, prog);
+    EXPECT_FALSE(sys.run());
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Litmus tests: the outcome sets of SB, MP and IRIW shapes under each
+ * consistency model, baseline and speculative.  Speculation must change
+ * performance, never the allowed outcome set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tests/sim_test_util.hh"
+#include "workload/litmus.hh"
+
+using namespace fenceless;
+using namespace fenceless::test;
+using namespace fenceless::workload;
+
+namespace
+{
+
+harness::SystemConfig
+litmusConfig(cpu::ConsistencyModel model, bool speculative)
+{
+    harness::SystemConfig cfg = testConfig(4, model);
+    if (speculative)
+        cfg.spec.mode = spec::SpecMode::OnDemand;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Litmus, SbForbiddenUnderSc)
+{
+    LitmusSB sb(false);
+    auto outcomes = runLitmus(sb, litmusConfig(
+        cpu::ConsistencyModel::SC, false));
+    EXPECT_FALSE(contains(outcomes, {0, 0}));
+    EXPECT_TRUE(contains(outcomes, {1, 1}) ||
+                contains(outcomes, {0, 1}) ||
+                contains(outcomes, {1, 0}));
+}
+
+TEST(Litmus, SbObservableUnderTso)
+{
+    LitmusSB sb(false);
+    auto outcomes = runLitmus(sb, litmusConfig(
+        cpu::ConsistencyModel::TSO, false));
+    EXPECT_TRUE(contains(outcomes, {0, 0}))
+        << "store buffering must be observable under TSO";
+}
+
+TEST(Litmus, SbFencedForbiddenEverywhere)
+{
+    LitmusSB sb(true);
+    for (auto model : {cpu::ConsistencyModel::SC,
+                       cpu::ConsistencyModel::TSO,
+                       cpu::ConsistencyModel::RMO}) {
+        auto outcomes = runLitmus(sb, litmusConfig(model, false));
+        EXPECT_FALSE(contains(outcomes, {0, 0}))
+            << consistencyModelName(model);
+    }
+}
+
+TEST(Litmus, SbSpeculativeScStillForbidden)
+{
+    // The headline transparency property: speculative SC behaves like
+    // SC, not like TSO.
+    LitmusSB sb(false);
+    auto outcomes = runLitmus(sb, litmusConfig(
+        cpu::ConsistencyModel::SC, true));
+    EXPECT_FALSE(contains(outcomes, {0, 0}));
+}
+
+TEST(Litmus, SbFencedSpeculativeForbidden)
+{
+    LitmusSB sb(true);
+    for (auto model : {cpu::ConsistencyModel::SC,
+                       cpu::ConsistencyModel::TSO,
+                       cpu::ConsistencyModel::RMO}) {
+        auto outcomes = runLitmus(sb, litmusConfig(model, true));
+        EXPECT_FALSE(contains(outcomes, {0, 0}))
+            << consistencyModelName(model) << " + speculation";
+    }
+}
+
+TEST(Litmus, MpForbiddenUnderTso)
+{
+    LitmusMP mp(false);
+    auto outcomes = runLitmus(mp, litmusConfig(
+        cpu::ConsistencyModel::TSO, false));
+    EXPECT_FALSE(contains(outcomes, {1, 0}));
+}
+
+TEST(Litmus, MpObservableUnderRmo)
+{
+    LitmusMP mp(false);
+    auto outcomes = runLitmus(mp, litmusConfig(
+        cpu::ConsistencyModel::RMO, false), 40, 2);
+    EXPECT_TRUE(contains(outcomes, {1, 0}))
+        << "store-store reordering must be observable under RMO";
+}
+
+TEST(Litmus, MpReleaseForbiddenUnderRmo)
+{
+    LitmusMP mp(true);
+    auto outcomes = runLitmus(mp, litmusConfig(
+        cpu::ConsistencyModel::RMO, false));
+    EXPECT_FALSE(contains(outcomes, {1, 0}));
+}
+
+TEST(Litmus, MpReleaseSpeculativeRmoForbidden)
+{
+    LitmusMP mp(true);
+    auto outcomes = runLitmus(mp, litmusConfig(
+        cpu::ConsistencyModel::RMO, true));
+    EXPECT_FALSE(contains(outcomes, {1, 0}));
+}
+
+TEST(Litmus, MpSpeculativeRmoStillRelaxed)
+{
+    // Speculation must not silently *strengthen* the model either: the
+    // unfenced MP relaxation should remain observable under RMO with
+    // speculation enabled (speculation only bypasses stalls, and
+    // unfenced RMO stores never stall).
+    LitmusMP mp(false);
+    auto outcomes = runLitmus(mp, litmusConfig(
+        cpu::ConsistencyModel::RMO, true), 40, 2);
+    EXPECT_TRUE(contains(outcomes, {1, 0}));
+}
+
+TEST(Litmus, IriwFencedAgreesOnOrder)
+{
+    LitmusIRIW iriw(true);
+    for (bool speculative : {false, true}) {
+        auto outcomes = runLitmus(iriw, litmusConfig(
+            cpu::ConsistencyModel::SC, speculative), 16, 5);
+        // Readers must never disagree on the write order:
+        // r0=1,r1=0 (X before Y) together with r2=1,r3=0 (Y before X).
+        EXPECT_FALSE(contains(outcomes, {1, 0, 1, 0}))
+            << "speculative=" << speculative;
+    }
+}
+
+TEST(Litmus, CoRRForbiddenEverywhere)
+{
+    // Per-location coherence: a reader may never see the new value and
+    // then the old one, under any model, with or without speculation.
+    LitmusCoRR corr;
+    for (auto model : {cpu::ConsistencyModel::SC,
+                       cpu::ConsistencyModel::TSO,
+                       cpu::ConsistencyModel::RMO}) {
+        for (bool speculative : {false, true}) {
+            auto outcomes = runLitmus(corr,
+                                      litmusConfig(model, speculative));
+            EXPECT_FALSE(contains(outcomes, {1, 0}))
+                << consistencyModelName(model) << " spec="
+                << speculative;
+        }
+    }
+}
+
+TEST(Litmus, TwoPlusTwoWForbiddenUnderTso)
+{
+    // Final (X,Y) == (1,1) needs both threads' *second* stores ordered
+    // before their first -- impossible with in-order drain.
+    Litmus22W w(false);
+    for (auto model : {cpu::ConsistencyModel::SC,
+                       cpu::ConsistencyModel::TSO}) {
+        auto outcomes = runLitmus(w, litmusConfig(model, false));
+        EXPECT_FALSE(contains(outcomes, {1, 1}))
+            << consistencyModelName(model);
+    }
+}
+
+TEST(Litmus, TwoPlusTwoWObservableUnderRmo)
+{
+    Litmus22W w(false);
+    auto outcomes = runLitmus(w, litmusConfig(
+        cpu::ConsistencyModel::RMO, false), 40, 2);
+    EXPECT_TRUE(contains(outcomes, {1, 1}))
+        << "store-store reordering must make (1,1) reachable";
+}
+
+TEST(Litmus, TwoPlusTwoWReleaseForbiddenUnderRmo)
+{
+    Litmus22W w(true);
+    auto outcomes = runLitmus(w, litmusConfig(
+        cpu::ConsistencyModel::RMO, false), 40, 2);
+    EXPECT_FALSE(contains(outcomes, {1, 1}));
+}
+
+TEST(Litmus, TwoPlusTwoWSpeculativeMatchesBaseline)
+{
+    Litmus22W w(false);
+    auto base = runLitmus(w, litmusConfig(
+        cpu::ConsistencyModel::SC, false));
+    auto specd = runLitmus(w, litmusConfig(
+        cpu::ConsistencyModel::SC, true));
+    EXPECT_FALSE(contains(specd, {1, 1}));
+    // The speculative outcome set is not broader than the baseline's.
+    for (const auto &o : specd)
+        EXPECT_TRUE(base.count(o)) << "extra outcome under speculation";
+}

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Guest runtime tests: the lock/barrier/PRNG code emitted by
+ * workload/runtime is functionally correct (reference executor with
+ * randomized interleavings) and provides mutual exclusion / rendezvous
+ * in the timing simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/interp.hh"
+#include "tests/sim_test_util.hh"
+#include "workload/runtime.hh"
+
+using namespace fenceless;
+using namespace fenceless::isa;
+using namespace fenceless::workload;
+using namespace fenceless::test;
+
+namespace
+{
+
+/** N threads increment a counter K times under a spin lock. */
+Program
+spinLockProgram(std::uint64_t iters, Addr *counter_out)
+{
+    Assembler as;
+    const Addr lock = as.paddedWord("lock", 0);
+    const Addr counter = as.paddedWord("counter", 0);
+    as.li(a0, lock);
+    as.li(a1, counter);
+    as.li(s0, iters);
+    as.label("loop");
+    emitSpinLockAcquire(as, a0, t0, t1);
+    as.ld(t0, a1);
+    as.addi(t0, t0, 1);
+    as.st(t0, a1);
+    emitSpinLockRelease(as, a0);
+    as.addi(s0, s0, -1);
+    as.bne(s0, x0, "loop");
+    as.halt();
+    *counter_out = counter;
+    return as.finish();
+}
+
+} // namespace
+
+TEST(Runtime, SpinLockMutualExclusionFunctional)
+{
+    // Randomized fine-grained interleavings in the reference executor:
+    // without the lock the read-modify-write would lose updates.
+    for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+        Addr counter = 0;
+        Program prog = spinLockProgram(50, &counter);
+        ReferenceExecutor exec(prog, 4, 3);
+        exec.randomize(seed);
+        ASSERT_TRUE(exec.run());
+        EXPECT_EQ(exec.memory().read64(counter), 200u)
+            << "seed " << seed;
+    }
+}
+
+TEST(Runtime, SpinLockMutualExclusionTimed)
+{
+    Addr counter = 0;
+    Program prog = spinLockProgram(100, &counter);
+    for (auto model : {cpu::ConsistencyModel::SC,
+                       cpu::ConsistencyModel::TSO,
+                       cpu::ConsistencyModel::RMO}) {
+        harness::System sys(testConfig(4, model), prog);
+        ASSERT_TRUE(sys.run());
+        EXPECT_EQ(sys.debugRead(counter, 8), 400u)
+            << consistencyModelName(model);
+    }
+}
+
+TEST(Runtime, TicketLockIsFifoFair)
+{
+    // Record the order of critical-section entries; with a ticket lock
+    // every thread must appear exactly `iters` times (no starvation).
+    Assembler as;
+    const Addr next = as.paddedWord("next", 0);
+    const Addr serving = as.paddedWord("serving", 0);
+    const Addr log_idx = as.paddedWord("log_idx", 0);
+    const std::uint64_t iters = 20;
+    const Addr log = as.alloc("log", 4 * iters * 8, 64);
+
+    as.li(a0, next);
+    as.li(a1, serving);
+    as.li(a2, log_idx);
+    as.li(a3, log);
+    as.li(s0, iters);
+    as.label("loop");
+    emitTicketLockAcquire(as, a0, a1, t0, t1);
+    as.ld(t0, a2);      // log[idx++] = tid (inside the lock)
+    as.slli(t1, t0, 3);
+    as.add(t1, a3, t1);
+    as.st(tp, t1);
+    as.addi(t0, t0, 1);
+    as.st(t0, a2);
+    emitTicketLockRelease(as, a1, t0);
+    as.addi(s0, s0, -1);
+    as.bne(s0, x0, "loop");
+    as.halt();
+    Program prog = as.finish();
+
+    harness::System sys(testConfig(4), prog);
+    ASSERT_TRUE(sys.run());
+    EXPECT_EQ(sys.debugRead(log_idx, 8), 4 * iters);
+    std::uint64_t per_thread[4] = {};
+    for (std::uint64_t i = 0; i < 4 * iters; ++i) {
+        const std::uint64_t tid = sys.debugRead(log + i * 8, 8);
+        ASSERT_LT(tid, 4u);
+        ++per_thread[tid];
+    }
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(per_thread[t], iters) << "thread " << t;
+}
+
+TEST(Runtime, BarrierRendezvous)
+{
+    // After phase p's barrier, every thread's slot must read >= p for
+    // all threads.  A racy barrier would let a fast thread read a slot
+    // still holding p-1.
+    Assembler as;
+    const Addr count = as.paddedWord("count", 0);
+    const Addr sense = as.paddedWord("sense", 0);
+    const Addr slots = as.alloc("slots", 4 * 64, 64);
+    const Addr violations = as.paddedWord("violations", 0);
+    const std::uint64_t phases = 25;
+
+    as.li(a0, count);
+    as.li(a1, sense);
+    as.li(a2, slots);
+    as.li(a3, violations);
+    as.csrr(s1, Csr::NumCores);
+    as.slli(t0, tp, 6);
+    as.add(s3, a2, t0);
+    as.li(s0, 0);
+    as.label("loop");
+    as.addi(t5, s0, 1);
+    as.st(t5, s3);
+    emitBarrier(as, a0, a1, s2, s1, t0, t1);
+    // Check every slot.
+    as.li(s4, 0); // slot index
+    as.label("check");
+    as.slli(t0, s4, 6);
+    as.add(t0, a2, t0);
+    as.ld(t1, t0);
+    as.addi(t5, s0, 1);
+    as.bgeu(t1, t5, "slot_ok");
+    as.li(t2, 1);
+    as.amoadd(t3, t2, a3);
+    as.label("slot_ok");
+    as.addi(s4, s4, 1);
+    as.bne(s4, s1, "check");
+    emitBarrier(as, a0, a1, s2, s1, t0, t1);
+    as.addi(s0, s0, 1);
+    as.li(t0, phases);
+    as.bne(s0, t0, "loop");
+    as.halt();
+    Program prog = as.finish();
+
+    for (auto model : {cpu::ConsistencyModel::SC,
+                       cpu::ConsistencyModel::RMO}) {
+        harness::System sys(testConfig(4, model), prog);
+        ASSERT_TRUE(sys.run()) << consistencyModelName(model);
+        EXPECT_EQ(sys.debugRead(violations, 8), 0u)
+            << consistencyModelName(model);
+    }
+}
+
+TEST(Runtime, BarrierWithSpeculation)
+{
+    // Same rendezvous property with fence speculation enabled.
+    Assembler as;
+    const Addr count = as.paddedWord("count", 0);
+    const Addr sense = as.paddedWord("sense", 0);
+    as.li(a0, count);
+    as.li(a1, sense);
+    as.csrr(s1, Csr::NumCores);
+    as.li(s0, 50);
+    as.label("loop");
+    emitBarrier(as, a0, a1, s2, s1, t0, t1);
+    as.addi(s0, s0, -1);
+    as.bne(s0, x0, "loop");
+    as.halt();
+    Program prog = as.finish();
+
+    harness::SystemConfig cfg = testConfig(8,
+                                           cpu::ConsistencyModel::SC);
+    cfg.spec.mode = spec::SpecMode::OnDemand;
+    harness::System sys(cfg, prog);
+    ASSERT_TRUE(sys.run());
+    // All 8 cores crossed 50 barriers: the count word ends at 0.
+    EXPECT_EQ(sys.debugRead(count, 8), 0u);
+    sys.auditCoherence();
+}
+
+TEST(Runtime, XorshiftMatchesHostModel)
+{
+    Assembler as;
+    const Addr out = as.alloc("out", 10 * 8, 64);
+    as.li(s6, 0x12345);
+    as.li(a0, out);
+    as.li(s0, 10);
+    as.label("loop");
+    emitXorshift(as, s6, t0);
+    as.st(s6, a0);
+    as.addi(a0, a0, 8);
+    as.addi(s0, s0, -1);
+    as.bne(s0, x0, "loop");
+    as.halt();
+    Program prog = as.finish();
+
+    ReferenceExecutor exec(prog, 1);
+    ASSERT_TRUE(exec.run());
+    std::uint64_t x = 0x12345;
+    for (int i = 0; i < 10; ++i) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        EXPECT_EQ(exec.memory().read64(out + i * 8), x) << "step " << i;
+    }
+}
+
+TEST(Runtime, DelayCostsCycles)
+{
+    Assembler as;
+    emitDelay(as, t0, 100);
+    as.halt();
+    Program prog = as.finish();
+
+    harness::System sys(testConfig(1), prog);
+    ASSERT_TRUE(sys.run());
+    // 100 iterations x 2 single-cycle instructions, plus setup/halt.
+    EXPECT_GE(sys.runtimeCycles(), 200u);
+    EXPECT_LE(sys.runtimeCycles(), 230u);
+}
+
+TEST(Runtime, UniqueLabelsNeverCollide)
+{
+    // Two locks emitted into one program must not share labels.
+    Assembler as;
+    const Addr l1 = as.paddedWord("l1", 0);
+    const Addr l2 = as.paddedWord("l2", 0);
+    as.li(a0, l1);
+    as.li(a1, l2);
+    emitSpinLockAcquire(as, a0, t0, t1);
+    emitSpinLockAcquire(as, a1, t0, t1);
+    emitSpinLockRelease(as, a1);
+    emitSpinLockRelease(as, a0);
+    as.halt();
+    Program prog = as.finish(); // panics on duplicate labels
+    EXPECT_GT(prog.code.size(), 10u);
+}
