@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_models.dir/bench_baseline_models.cc.o"
+  "CMakeFiles/bench_baseline_models.dir/bench_baseline_models.cc.o.d"
+  "bench_baseline_models"
+  "bench_baseline_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

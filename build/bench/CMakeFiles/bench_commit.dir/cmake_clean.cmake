@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit.dir/bench_commit.cc.o"
+  "CMakeFiles/bench_commit.dir/bench_commit.cc.o.d"
+  "bench_commit"
+  "bench_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

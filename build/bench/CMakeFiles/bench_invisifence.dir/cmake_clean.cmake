@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_invisifence.dir/bench_invisifence.cc.o"
+  "CMakeFiles/bench_invisifence.dir/bench_invisifence.cc.o.d"
+  "bench_invisifence"
+  "bench_invisifence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_invisifence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

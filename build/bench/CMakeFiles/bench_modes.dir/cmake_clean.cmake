@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modes.dir/bench_modes.cc.o"
+  "CMakeFiles/bench_modes.dir/bench_modes.cc.o.d"
+  "bench_modes"
+  "bench_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

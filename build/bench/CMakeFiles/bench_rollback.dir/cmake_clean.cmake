@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rollback.dir/bench_rollback.cc.o"
+  "CMakeFiles/bench_rollback.dir/bench_rollback.cc.o.d"
+  "bench_rollback"
+  "bench_rollback.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rollback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sbsize.dir/bench_sbsize.cc.o"
+  "CMakeFiles/bench_sbsize.dir/bench_sbsize.cc.o.d"
+  "bench_sbsize"
+  "bench_sbsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sbsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

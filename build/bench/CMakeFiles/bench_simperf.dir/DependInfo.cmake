@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_simperf.cc" "bench/CMakeFiles/bench_simperf.dir/bench_simperf.cc.o" "gcc" "bench/CMakeFiles/bench_simperf.dir/bench_simperf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/fl_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/fl_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fl_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/fl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fl_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/fl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

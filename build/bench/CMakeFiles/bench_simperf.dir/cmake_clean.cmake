@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simperf.dir/bench_simperf.cc.o"
+  "CMakeFiles/bench_simperf.dir/bench_simperf.cc.o.d"
+  "bench_simperf"
+  "bench_simperf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

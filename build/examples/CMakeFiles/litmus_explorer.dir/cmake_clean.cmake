@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_explorer.dir/litmus_explorer.cpp.o"
+  "CMakeFiles/litmus_explorer.dir/litmus_explorer.cpp.o.d"
+  "litmus_explorer"
+  "litmus_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

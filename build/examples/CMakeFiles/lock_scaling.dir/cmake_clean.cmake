@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_scaling.dir/lock_scaling.cpp.o"
+  "CMakeFiles/lock_scaling.dir/lock_scaling.cpp.o.d"
+  "lock_scaling"
+  "lock_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speculation_tuning.dir/speculation_tuning.cpp.o"
+  "CMakeFiles/speculation_tuning.dir/speculation_tuning.cpp.o.d"
+  "speculation_tuning"
+  "speculation_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speculation_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

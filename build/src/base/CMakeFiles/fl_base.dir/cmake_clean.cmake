@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_base.dir/logging.cc.o"
+  "CMakeFiles/fl_base.dir/logging.cc.o.d"
+  "CMakeFiles/fl_base.dir/stats.cc.o"
+  "CMakeFiles/fl_base.dir/stats.cc.o.d"
+  "CMakeFiles/fl_base.dir/trace.cc.o"
+  "CMakeFiles/fl_base.dir/trace.cc.o.d"
+  "libfl_base.a"
+  "libfl_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_spec.dir/spec_controller.cc.o"
+  "CMakeFiles/fl_spec.dir/spec_controller.cc.o.d"
+  "libfl_spec.a"
+  "libfl_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_cpu.dir/core.cc.o"
+  "CMakeFiles/fl_cpu.dir/core.cc.o.d"
+  "CMakeFiles/fl_cpu.dir/store_buffer.cc.o"
+  "CMakeFiles/fl_cpu.dir/store_buffer.cc.o.d"
+  "libfl_cpu.a"
+  "libfl_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

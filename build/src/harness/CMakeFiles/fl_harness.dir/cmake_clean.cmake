@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_harness.dir/__/workload/litmus.cc.o"
+  "CMakeFiles/fl_harness.dir/__/workload/litmus.cc.o.d"
+  "CMakeFiles/fl_harness.dir/options.cc.o"
+  "CMakeFiles/fl_harness.dir/options.cc.o.d"
+  "CMakeFiles/fl_harness.dir/system.cc.o"
+  "CMakeFiles/fl_harness.dir/system.cc.o.d"
+  "CMakeFiles/fl_harness.dir/table.cc.o"
+  "CMakeFiles/fl_harness.dir/table.cc.o.d"
+  "libfl_harness.a"
+  "libfl_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cc" "src/isa/CMakeFiles/fl_isa.dir/assembler.cc.o" "gcc" "src/isa/CMakeFiles/fl_isa.dir/assembler.cc.o.d"
+  "/root/repo/src/isa/inst.cc" "src/isa/CMakeFiles/fl_isa.dir/inst.cc.o" "gcc" "src/isa/CMakeFiles/fl_isa.dir/inst.cc.o.d"
+  "/root/repo/src/isa/interp.cc" "src/isa/CMakeFiles/fl_isa.dir/interp.cc.o" "gcc" "src/isa/CMakeFiles/fl_isa.dir/interp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/fl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_isa.dir/assembler.cc.o"
+  "CMakeFiles/fl_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/fl_isa.dir/inst.cc.o"
+  "CMakeFiles/fl_isa.dir/inst.cc.o.d"
+  "CMakeFiles/fl_isa.dir/interp.cc.o"
+  "CMakeFiles/fl_isa.dir/interp.cc.o.d"
+  "libfl_isa.a"
+  "libfl_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/directory.cc" "src/mem/CMakeFiles/fl_mem.dir/directory.cc.o" "gcc" "src/mem/CMakeFiles/fl_mem.dir/directory.cc.o.d"
+  "/root/repo/src/mem/l1_cache.cc" "src/mem/CMakeFiles/fl_mem.dir/l1_cache.cc.o" "gcc" "src/mem/CMakeFiles/fl_mem.dir/l1_cache.cc.o.d"
+  "/root/repo/src/mem/network.cc" "src/mem/CMakeFiles/fl_mem.dir/network.cc.o" "gcc" "src/mem/CMakeFiles/fl_mem.dir/network.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/fl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

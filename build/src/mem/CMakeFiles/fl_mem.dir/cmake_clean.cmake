@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_mem.dir/directory.cc.o"
+  "CMakeFiles/fl_mem.dir/directory.cc.o.d"
+  "CMakeFiles/fl_mem.dir/l1_cache.cc.o"
+  "CMakeFiles/fl_mem.dir/l1_cache.cc.o.d"
+  "CMakeFiles/fl_mem.dir/network.cc.o"
+  "CMakeFiles/fl_mem.dir/network.cc.o.d"
+  "libfl_mem.a"
+  "libfl_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

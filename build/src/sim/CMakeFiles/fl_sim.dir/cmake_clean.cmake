@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_sim.dir/eventq.cc.o"
+  "CMakeFiles/fl_sim.dir/eventq.cc.o.d"
+  "libfl_sim.a"
+  "libfl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/kernels.cc" "src/workload/CMakeFiles/fl_workload.dir/kernels.cc.o" "gcc" "src/workload/CMakeFiles/fl_workload.dir/kernels.cc.o.d"
+  "/root/repo/src/workload/microbench.cc" "src/workload/CMakeFiles/fl_workload.dir/microbench.cc.o" "gcc" "src/workload/CMakeFiles/fl_workload.dir/microbench.cc.o.d"
+  "/root/repo/src/workload/runtime.cc" "src/workload/CMakeFiles/fl_workload.dir/runtime.cc.o" "gcc" "src/workload/CMakeFiles/fl_workload.dir/runtime.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/workload/CMakeFiles/fl_workload.dir/suite.cc.o" "gcc" "src/workload/CMakeFiles/fl_workload.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/fl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/fl_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

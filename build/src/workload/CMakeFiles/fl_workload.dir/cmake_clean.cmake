@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_workload.dir/kernels.cc.o"
+  "CMakeFiles/fl_workload.dir/kernels.cc.o.d"
+  "CMakeFiles/fl_workload.dir/microbench.cc.o"
+  "CMakeFiles/fl_workload.dir/microbench.cc.o.d"
+  "CMakeFiles/fl_workload.dir/runtime.cc.o"
+  "CMakeFiles/fl_workload.dir/runtime.cc.o.d"
+  "CMakeFiles/fl_workload.dir/suite.cc.o"
+  "CMakeFiles/fl_workload.dir/suite.cc.o.d"
+  "libfl_workload.a"
+  "libfl_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

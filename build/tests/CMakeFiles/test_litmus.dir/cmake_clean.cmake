@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_litmus.dir/test_litmus.cc.o"
+  "CMakeFiles/test_litmus.dir/test_litmus.cc.o.d"
+  "test_litmus"
+  "test_litmus.pdb"
+  "test_litmus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec.dir/test_spec.cc.o"
+  "CMakeFiles/test_spec.dir/test_spec.cc.o.d"
+  "test_spec"
+  "test_spec.pdb"
+  "test_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

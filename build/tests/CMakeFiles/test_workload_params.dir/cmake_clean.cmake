@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload_params.dir/test_workload_params.cc.o"
+  "CMakeFiles/test_workload_params.dir/test_workload_params.cc.o.d"
+  "test_workload_params"
+  "test_workload_params.pdb"
+  "test_workload_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
