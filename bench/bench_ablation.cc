@@ -8,6 +8,9 @@
  *  (b) relaxed-drain overlap (RMO max_inflight) -- the source of RMO's
  *      drain-bandwidth advantage;
  *  (c) rollback backoff cap -- what contains conflict thrashing.
+ *
+ * All three sections' sweep points run as one parallel batch; the
+ * tables are rendered from the ordered results afterwards.
  */
 
 #include <iostream>
@@ -18,10 +21,119 @@
 using namespace fenceless;
 using namespace fenceless::bench;
 
-int
-main()
+namespace
 {
+
+/** One ablation point: cycles plus a per-section auxiliary counter. */
+struct Meas
+{
+    double cycles = 0;
+    std::uint64_t aux = 0; //!< prefetches (a) / rollbacks (c)
+    std::string error;
+};
+
+workload::LocalLockStream::Params
+deepStreamParams()
+{
+    workload::LocalLockStream::Params p;
+    p.iters = 96;
+    p.stream_stores = 8;
+    return p;
+}
+
+workload::Dekker::Params
+dekkerParams()
+{
+    workload::Dekker::Params p;
+    p.iters = 400;
+    return p;
+}
+
+Meas
+runPrefetchPoint(unsigned depth)
+{
+    Meas out;
+    harness::SystemConfig cfg = defaultConfig();
+    cfg.sb_prefetch_depth = depth;
+    workload::LocalLockStream wl(deepStreamParams());
+    MeasuredSystem m = measureSystem(wl, cfg);
+    if (!m.ok()) {
+        out.error = m.error;
+        return out;
+    }
+    out.cycles = static_cast<double>(m.sys->runtimeCycles());
+    for (std::uint32_t c = 0; c < cfg.num_cores; ++c)
+        out.aux += m.sys->l1(c).statGroup().scalarCount("prefetches");
+    return out;
+}
+
+Meas
+runInflightPoint(unsigned inflight)
+{
+    Meas out;
+    harness::SystemConfig cfg = defaultConfig();
+    cfg.model = cpu::ConsistencyModel::RMO;
+    cfg.sb_max_inflight = inflight;
+    cfg.sb_prefetch_depth = 0; // isolate the overlap effect
+    workload::LocalLockStream wl(deepStreamParams());
+    RunOutcome r = measure(wl, cfg);
+    if (!r) {
+        out.error = r.error;
+        return out;
+    }
+    out.cycles = static_cast<double>(r.result.cycles);
+    return out;
+}
+
+Meas
+runBackoffPoint(unsigned cap)
+{
+    Meas out;
+    harness::SystemConfig cfg = defaultConfig();
+    cfg.model = cpu::ConsistencyModel::SC;
+    if (cap != 0) {
+        cfg.withSpeculation();
+        cfg.spec.max_cooldown = cap;
+    }
+    workload::Dekker wl(dekkerParams());
+    RunOutcome r = measure(wl, cfg);
+    if (!r) {
+        out.error = r.error;
+        return out;
+    }
+    out.cycles = static_cast<double>(r.result.cycles);
+    out.aux = r.result.rollbacks;
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opts(argc, argv);
     banner("A1", "ablations of the model's design choices");
+
+    const unsigned depths[] = {0, 1, 2, 4, 8};
+    const unsigned inflights[] = {1, 2, 4, 8};
+    const unsigned caps[] = {1, 4, 16, 64, 256};
+
+    // One batch: section (a) points, then (b), then (c)'s baseline
+    // (cap == 0 encodes "speculation off") and capped points.
+    std::vector<std::function<Meas()>> tasks;
+    for (unsigned depth : depths)
+        tasks.push_back([depth] { return runPrefetchPoint(depth); });
+    for (unsigned inflight : inflights)
+        tasks.push_back(
+            [inflight] { return runInflightPoint(inflight); });
+    tasks.push_back([] { return runBackoffPoint(0); });
+    for (unsigned cap : caps)
+        tasks.push_back([cap] { return runBackoffPoint(cap); });
+
+    auto results = runSweep(opts, std::move(tasks));
+    if (!sweepOk(results, [](const Meas &m) { return m.error; }))
+        return 1;
+    std::size_t idx = 0;
 
     // (a) ownership prefetch depth, TSO baseline, store-heavy workload
     {
@@ -29,28 +141,11 @@ main()
                      "(local-locks, TSO baseline, cycles) --\n";
         harness::Table table({"prefetch depth", "cycles",
                               "prefetches"});
-        workload::LocalLockStream::Params p;
-        p.iters = 96;
-        p.stream_stores = 8;
-        for (unsigned depth : {0, 1, 2, 4, 8}) {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.sb_prefetch_depth = depth;
-            workload::LocalLockStream wl(p);
-            isa::Program prog = wl.build(cfg.num_cores);
-            harness::System sys(cfg, prog);
-            if (!sys.run())
-                fatal("did not terminate");
-            std::string error;
-            if (!wl.check(sys.memReader(), cfg.num_cores, error))
-                fatal(error);
-            std::uint64_t prefetches = 0;
-            for (std::uint32_t c = 0; c < cfg.num_cores; ++c)
-                prefetches += sys.l1(c).statGroup().scalarCount(
-                    "prefetches");
+        for (unsigned depth : depths) {
+            const Meas &m = results[idx++];
             table.addRow({std::to_string(depth),
-                          harness::fmt(static_cast<double>(
-                              sys.runtimeCycles()), 0),
-                          std::to_string(prefetches)});
+                          harness::fmt(m.cycles, 0),
+                          std::to_string(m.aux)});
         }
         table.print(std::cout);
         std::cout << "\n";
@@ -61,25 +156,10 @@ main()
         std::cout << "-- (b) RMO drain overlap (local-locks, RMO "
                      "baseline, cycles) --\n";
         harness::Table table({"max inflight drains", "cycles"});
-        workload::LocalLockStream::Params p;
-        p.iters = 96;
-        p.stream_stores = 8;
-        for (unsigned inflight : {1, 2, 4, 8}) {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = cpu::ConsistencyModel::RMO;
-            cfg.sb_max_inflight = inflight;
-            cfg.sb_prefetch_depth = 0; // isolate the overlap effect
-            workload::LocalLockStream wl(p);
-            isa::Program prog = wl.build(cfg.num_cores);
-            harness::System sys(cfg, prog);
-            if (!sys.run())
-                fatal("did not terminate");
-            std::string error;
-            if (!wl.check(sys.memReader(), cfg.num_cores, error))
-                fatal(error);
+        for (unsigned inflight : inflights) {
+            const Meas &m = results[idx++];
             table.addRow({std::to_string(inflight),
-                          harness::fmt(static_cast<double>(
-                              sys.runtimeCycles()), 0)});
+                          harness::fmt(m.cycles, 0)});
         }
         table.print(std::cout);
         std::cout << "\n";
@@ -91,32 +171,12 @@ main()
                      "baseline SC = 1.00) --\n";
         harness::Table table({"max cooldown", "runtime vs base",
                               "rollbacks"});
-        workload::Dekker::Params p;
-        p.iters = 400;
-        double base = 0;
-        {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = cpu::ConsistencyModel::SC;
-            workload::Dekker wl(p);
-            base = static_cast<double>(measure(wl, cfg).cycles);
-        }
-        for (unsigned cap : {1, 4, 16, 64, 256}) {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = cpu::ConsistencyModel::SC;
-            cfg.withSpeculation();
-            cfg.spec.max_cooldown = cap;
-            workload::Dekker wl(p);
-            isa::Program prog = wl.build(cfg.num_cores);
-            harness::System sys(cfg, prog);
-            if (!sys.run())
-                fatal("did not terminate");
-            std::string error;
-            if (!wl.check(sys.memReader(), cfg.num_cores, error))
-                fatal(error);
+        const double base = results[idx++].cycles;
+        for (unsigned cap : caps) {
+            const Meas &m = results[idx++];
             table.addRow({std::to_string(cap),
-                          harness::fmt(static_cast<double>(
-                              sys.runtimeCycles()) / base),
-                          std::to_string(sys.totalRollbacks())});
+                          harness::fmt(m.cycles / base),
+                          std::to_string(m.aux)});
         }
         table.print(std::cout);
     }

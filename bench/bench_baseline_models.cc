@@ -31,41 +31,49 @@ orderingStalls(harness::System &sys)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::Options opts(argc, argv);
     banner("F1", "baseline consistency-model cost (normalized runtime, "
                  "RMO = 1.00)");
 
     harness::Table table({"workload", "SC", "TSO", "RMO",
                           "SC ord-stall%", "TSO ord-stall%"});
 
-    for (auto &wl : workload::standardSuite(2)) {
-        double cycles[3] = {};
-        double stall_frac[3] = {};
-        int i = 0;
-        for (auto model : {cpu::ConsistencyModel::SC,
-                           cpu::ConsistencyModel::TSO,
-                           cpu::ConsistencyModel::RMO}) {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = model;
-            isa::Program prog = wl->build(cfg.num_cores);
-            harness::System sys(cfg, prog);
-            if (!sys.run())
-                fatal("'", wl->name(), "' did not terminate");
-            std::string error;
-            if (!wl->check(sys.memReader(), cfg.num_cores, error))
-                fatal(error);
-            cycles[i] = static_cast<double>(sys.runtimeCycles());
-            stall_frac[i] =
-                100.0 * orderingStalls(sys)
-                / (cycles[i] * cfg.num_cores);
-            ++i;
-        }
-        table.addRow({wl->name(), harness::fmt(cycles[0] / cycles[2]),
-                      harness::fmt(cycles[1] / cycles[2]), "1.00",
-                      harness::fmt(stall_frac[0], 1),
-                      harness::fmt(stall_frac[1], 1)});
+    std::vector<std::function<Row()>> tasks;
+    for (auto &wl : sharedSuite(2)) {
+        tasks.push_back([wl]() -> Row {
+            double cycles[3] = {};
+            double stall_frac[3] = {};
+            int i = 0;
+            for (auto model : {cpu::ConsistencyModel::SC,
+                               cpu::ConsistencyModel::TSO,
+                               cpu::ConsistencyModel::RMO}) {
+                harness::SystemConfig cfg = defaultConfig();
+                cfg.model = model;
+                MeasuredSystem m = measureSystem(*wl, cfg);
+                if (!m.ok())
+                    return {{}, m.error};
+                cycles[i] =
+                    static_cast<double>(m.sys->runtimeCycles());
+                stall_frac[i] = 100.0 * orderingStalls(*m.sys)
+                                / (cycles[i] * cfg.num_cores);
+                ++i;
+            }
+            return {{wl->name(),
+                     harness::fmt(cycles[0] / cycles[2]),
+                     harness::fmt(cycles[1] / cycles[2]), "1.00",
+                     harness::fmt(stall_frac[0], 1),
+                     harness::fmt(stall_frac[1], 1)},
+                    ""};
+        });
     }
+
+    auto rows = runSweep(opts, std::move(tasks));
+    if (!sweepOk(rows))
+        return 1;
+    for (auto &row : rows)
+        table.addRow(std::move(row.cells));
     table.print(std::cout);
     std::cout << "\nShape to observe: SC >= TSO >= RMO; the gap is "
                  "ordering-stall time\n(SC pays at every load above a "

@@ -15,13 +15,30 @@
 using namespace fenceless;
 using namespace fenceless::bench;
 
-int
-main()
+namespace
 {
+
+using Make = std::function<workload::WorkloadPtr()>;
+
+/** One (workload, arbitration-latency) point. */
+struct Meas
+{
+    double cycles = 0;
+    std::uint64_t commits = 0;
+    std::string error;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opts(argc, argv);
     banner("F8", "runtime vs per-commit arbitration latency "
                  "(on-demand SC, normalized to local flash commit)");
 
     const Cycles arb[] = {0, 10, 25, 50, 100, 200};
+    const unsigned num_arbs = 6;
 
     std::vector<std::string> headers{"workload"};
     for (Cycles a : arb)
@@ -30,36 +47,46 @@ main()
     headers.push_back("commits");
     harness::Table table(std::move(headers));
 
-    workload::WorkloadPtr wls[] = {
-        std::make_unique<workload::LocalLockStream>(),
-        std::make_unique<workload::BarrierPhase>(),
-        std::make_unique<workload::TicketLockCrit>(),
+    const Make entries[] = {
+        [] { return std::make_unique<workload::LocalLockStream>(); },
+        [] { return std::make_unique<workload::BarrierPhase>(); },
+        [] { return std::make_unique<workload::TicketLockCrit>(); },
     };
 
-    for (auto &wl : wls) {
-        std::vector<std::string> row{wl->name()};
-        double local = 0;
-        std::uint64_t commits = 0;
+    // One task per (workload, arbitration latency) point.
+    std::vector<std::function<Meas()>> tasks;
+    for (const Make &make : entries) {
         for (Cycles a : arb) {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = cpu::ConsistencyModel::SC;
-            cfg.withSpeculation();
-            cfg.spec.commit_arb_latency = a;
-            isa::Program prog = wl->build(cfg.num_cores);
-            harness::System sys(cfg, prog);
-            if (!sys.run())
-                fatal("'", wl->name(), "' did not terminate");
-            std::string error;
-            if (!wl->check(sys.memReader(), cfg.num_cores, error))
-                fatal(error);
-            const double cycles =
-                static_cast<double>(sys.runtimeCycles());
-            if (a == 0) {
-                local = cycles;
-                commits = sys.totalCommits();
-            }
-            row.push_back(harness::fmt(cycles / local));
+            tasks.push_back([make, a]() -> Meas {
+                Meas out;
+                harness::SystemConfig cfg = defaultConfig();
+                cfg.model = cpu::ConsistencyModel::SC;
+                cfg.withSpeculation();
+                cfg.spec.commit_arb_latency = a;
+                auto wl = make();
+                RunOutcome r = measure(*wl, cfg);
+                if (!r) {
+                    out.error = r.error;
+                    return out;
+                }
+                out.cycles = static_cast<double>(r.result.cycles);
+                out.commits = r.result.commits;
+                return out;
+            });
         }
+    }
+
+    auto results = runSweep(opts, std::move(tasks));
+    if (!sweepOk(results, [](const Meas &m) { return m.error; }))
+        return 1;
+
+    std::size_t idx = 0;
+    for (const Make &make : entries) {
+        std::vector<std::string> row{make()->name()};
+        const double local = results[idx].cycles;
+        const std::uint64_t commits = results[idx].commits;
+        for (unsigned i = 0; i < num_arbs; ++i)
+            row.push_back(harness::fmt(results[idx++].cycles / local));
         row.push_back(std::to_string(commits));
         table.addRow(std::move(row));
     }

@@ -6,14 +6,26 @@
  * reconstructed evaluation (see DESIGN.md section 5 and
  * EXPERIMENTS.md): it sweeps configurations, runs the workloads,
  * verifies their postconditions, and prints the rows/series.
+ *
+ * Sweeps are host-parallel: every (workload x configuration) point is
+ * an independent deterministic simulation, so the binaries package
+ * each point as a task, hand the batch to harness::SweepRunner
+ * (--jobs=N, default hardware concurrency), and render the ordered
+ * results on the main thread.  Output is byte-identical to --jobs=1.
  */
 
 #pragma once
 
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/logging.hh"
+#include "harness/options.hh"
+#include "harness/sweep.hh"
 #include "harness/system.hh"
 #include "harness/table.hh"
 #include "workload/workload.hh"
@@ -41,7 +53,7 @@ defaultConfig(std::uint32_t cores = 8)
     return cfg;
 }
 
-/** Result of one measured run. */
+/** Counters of one measured run. */
 struct RunResult
 {
     Tick cycles = 0;
@@ -51,27 +63,138 @@ struct RunResult
 };
 
 /**
- * Build, run and verify one workload under one configuration.
- * Terminination and postconditions are hard requirements: an
- * experiment on a broken run would be meaningless.
+ * Outcome of one measured run.  Termination and postconditions are
+ * hard requirements -- an experiment on a broken run would be
+ * meaningless -- but a failure must not kill the whole sweep from a
+ * worker thread, so it is reported as a value and surfaced by the
+ * main thread once the sweep has drained.
  */
-inline RunResult
+struct RunOutcome
+{
+    RunResult result;
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+    explicit operator bool() const { return ok(); }
+};
+
+/**
+ * Like RunOutcome, but keeps the simulated System alive so the caller
+ * can read component statistics after the run.
+ */
+struct MeasuredSystem
+{
+    std::unique_ptr<harness::System> sys;
+    std::string error;
+
+    bool ok() const { return error.empty(); }
+    explicit operator bool() const { return ok(); }
+};
+
+/**
+ * Build, run and verify one workload under one configuration,
+ * returning the System for stat inspection.
+ */
+inline MeasuredSystem
+measureSystem(workload::Workload &wl, const harness::SystemConfig &cfg)
+{
+    MeasuredSystem m;
+    isa::Program prog = wl.build(cfg.num_cores);
+    m.sys = std::make_unique<harness::System>(cfg, prog);
+    if (!m.sys->run()) {
+        m.error = "workload '" + wl.name() + "' did not terminate";
+        return m;
+    }
+    std::string check_error;
+    if (!wl.check(m.sys->memReader(), cfg.num_cores, check_error)) {
+        m.error = "workload '" + wl.name() +
+                  "' failed verification: " + check_error;
+    }
+    return m;
+}
+
+/** Build, run and verify one workload; counters only. */
+inline RunOutcome
 measure(workload::Workload &wl, const harness::SystemConfig &cfg)
 {
-    isa::Program prog = wl.build(cfg.num_cores);
-    harness::System sys(cfg, prog);
-    if (!sys.run())
-        fatal("workload '", wl.name(), "' did not terminate");
+    RunOutcome out;
+    MeasuredSystem m = measureSystem(wl, cfg);
+    if (!m.ok()) {
+        out.error = std::move(m.error);
+        return out;
+    }
+    out.result.cycles = m.sys->runtimeCycles();
+    out.result.instructions = m.sys->totalInstructions();
+    out.result.commits = m.sys->totalCommits();
+    out.result.rollbacks = m.sys->totalRollbacks();
+    return out;
+}
+
+/**
+ * One rendered table row produced by a sweep task -- the common case.
+ * A non-empty error marks the task (and the experiment) as failed.
+ */
+struct Row
+{
+    std::vector<std::string> cells;
     std::string error;
-    if (!wl.check(sys.memReader(), cfg.num_cores, error))
-        fatal("workload '", wl.name(), "' failed verification: ",
-              error);
-    RunResult r;
-    r.cycles = sys.runtimeCycles();
-    r.instructions = sys.totalInstructions();
-    r.commits = sys.totalCommits();
-    r.rollbacks = sys.totalRollbacks();
-    return r;
+};
+
+/**
+ * Run every task on a SweepRunner sized by --jobs and return the
+ * results in submission order.  Tasks execute in any order across the
+ * workers, but all rendering happens on the calling thread from the
+ * ordered results, which keeps parallel output byte-identical to the
+ * sequential run.
+ */
+template <typename R>
+std::vector<R>
+runSweep(const harness::Options &opts,
+         std::vector<std::function<R()>> tasks)
+{
+    harness::SweepRunner runner(opts.jobs());
+    return runner.map(std::move(tasks));
+}
+
+/**
+ * Surface task failures once the sweep has drained: print every error
+ * (projected out of a result by @p error_of) to stderr.
+ * @return true if no task failed
+ */
+template <typename R, typename ErrorOf>
+bool
+sweepOk(const std::vector<R> &results, ErrorOf &&error_of)
+{
+    bool ok = true;
+    for (const auto &r : results) {
+        const std::string err = error_of(r);
+        if (!err.empty()) {
+            std::cerr << "error: " << err << "\n";
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+/** sweepOk for the Row-producing sweeps. */
+inline bool
+sweepOk(const std::vector<Row> &rows)
+{
+    return sweepOk(rows, [](const Row &r) { return r.error; });
+}
+
+/**
+ * The standard suite as shared_ptrs, so each sweep task can co-own
+ * exactly one workload (std::function closures must be copyable).
+ * Tasks never share a workload instance: one task per workload.
+ */
+inline std::vector<std::shared_ptr<workload::Workload>>
+sharedSuite(unsigned scale)
+{
+    std::vector<std::shared_ptr<workload::Workload>> suite;
+    for (auto &wl : workload::standardSuite(scale))
+        suite.push_back(std::move(wl));
+    return suite;
 }
 
 /** Standard experiment header. */

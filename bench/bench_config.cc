@@ -12,8 +12,12 @@ using namespace fenceless;
 using namespace fenceless::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // No sweep here, but parse anyway so every bench binary accepts
+    // the common flags (--jobs, --help, ...).
+    harness::Options opts(argc, argv);
+    (void)opts;
     banner("T1", "simulated system configuration");
 
     const harness::SystemConfig cfg = defaultConfig();

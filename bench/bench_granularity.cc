@@ -15,14 +15,57 @@
 using namespace fenceless;
 using namespace fenceless::bench;
 
-int
-main()
+namespace
 {
+
+/** Factory, so every sweep task builds its own workload instance. */
+using Make = std::function<workload::WorkloadPtr()>;
+
+/** One (workload, granularity-variant) run. */
+struct Meas
+{
+    double cycles = 0;
+    std::uint64_t stalls = 0;
+    std::string error;
+};
+
+Meas
+runOne(const Make &make, spec::Granularity g, unsigned k)
+{
+    Meas out;
+    harness::SystemConfig cfg = defaultConfig();
+    cfg.model = cpu::ConsistencyModel::SC;
+    cfg.l2.dram_latency = 160; // deepen natural epochs
+    cfg.spec.mode = spec::SpecMode::OnDemand;
+    cfg.spec.granularity = g;
+    cfg.spec.ps_store_queue = k;
+    cfg.spec.ps_load_cam = 2 * k;
+    auto wl = make();
+    MeasuredSystem m = measureSystem(*wl, cfg);
+    if (!m.ok()) {
+        out.error = m.error;
+        return out;
+    }
+    out.cycles = static_cast<double>(m.sys->runtimeCycles());
+    for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+        out.stalls += m.sys->specController(c)->statGroup()
+                          .scalarCount("spec_limit_stalls");
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opts(argc, argv);
     banner("F4", "per-store queue capacity vs block granularity "
                  "(on-demand SC, 160-cycle DRAM, runtime normalized "
                  "to block granularity)");
 
     const unsigned capacities[] = {2, 4, 8, 16, 32};
+    const unsigned num_caps = 5;
 
     std::vector<std::string> headers{"workload", "block"};
     for (unsigned k : capacities)
@@ -33,48 +76,42 @@ main()
     workload::LocalLockStream::Params deep;
     deep.iters = 96;
     deep.stream_stores = 8;
-    workload::WorkloadPtr wls[] = {
-        std::make_unique<workload::LocalLockStream>(deep),
-        std::make_unique<workload::BarrierPhase>(),
-        std::make_unique<workload::Stencil2D>(),
+    const Make entries[] = {
+        [deep] {
+            return std::make_unique<workload::LocalLockStream>(deep);
+        },
+        [] { return std::make_unique<workload::BarrierPhase>(); },
+        [] { return std::make_unique<workload::Stencil2D>(); },
     };
 
-    for (auto &wl : wls) {
-        auto run = [&](spec::Granularity g, unsigned k) {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = cpu::ConsistencyModel::SC;
-            cfg.l2.dram_latency = 160; // deepen natural epochs
-            cfg.spec.mode = spec::SpecMode::OnDemand;
-            cfg.spec.granularity = g;
-            cfg.spec.ps_store_queue = k;
-            cfg.spec.ps_load_cam = 2 * k;
-            isa::Program prog = wl->build(cfg.num_cores);
-            harness::System sys(cfg, prog);
-            if (!sys.run())
-                fatal("'", wl->name(), "' did not terminate");
-            std::string error;
-            if (!wl->check(sys.memReader(), cfg.num_cores, error))
-                fatal(error);
-            std::uint64_t stalls = 0;
-            for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
-                stalls += sys.specController(c)->statGroup()
-                              .scalarCount("spec_limit_stalls");
-            }
-            return std::pair<double, std::uint64_t>(
-                static_cast<double>(sys.runtimeCycles()), stalls);
-        };
-
-        const auto [block_cycles, block_stalls] =
-            run(spec::Granularity::Block, 16);
-        (void)block_stalls;
-        std::vector<std::string> row{wl->name(), "1.00"};
-        std::uint64_t stalls_at_2 = 0;
+    // One task per (workload, variant): variant 0 is the block-
+    // granularity reference, 1..num_caps the per-store capacities.
+    std::vector<std::function<Meas()>> tasks;
+    for (const Make &make : entries) {
+        tasks.push_back(
+            [make] { return runOne(make, spec::Granularity::Block,
+                                   16); });
         for (unsigned k : capacities) {
-            const auto [cycles, stalls] =
-                run(spec::Granularity::PerStore, k);
-            row.push_back(harness::fmt(cycles / block_cycles));
-            if (k == 2)
-                stalls_at_2 = stalls;
+            tasks.push_back([make, k] {
+                return runOne(make, spec::Granularity::PerStore, k);
+            });
+        }
+    }
+
+    auto results = runSweep(opts, std::move(tasks));
+    if (!sweepOk(results, [](const Meas &m) { return m.error; }))
+        return 1;
+
+    std::size_t idx = 0;
+    for (const Make &make : entries) {
+        const Meas &block = results[idx++];
+        std::vector<std::string> row{make()->name(), "1.00"};
+        std::uint64_t stalls_at_2 = 0;
+        for (unsigned i = 0; i < num_caps; ++i) {
+            const Meas &ps = results[idx++];
+            row.push_back(harness::fmt(ps.cycles / block.cycles));
+            if (capacities[i] == 2)
+                stalls_at_2 = ps.stalls;
         }
         row.push_back(std::to_string(stalls_at_2));
         table.addRow(std::move(row));

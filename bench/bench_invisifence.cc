@@ -18,54 +18,84 @@
 using namespace fenceless;
 using namespace fenceless::bench;
 
-int
-main()
+namespace
 {
+
+/** One workload's six normalized runtimes, for the geomean row. */
+struct WorkloadNorms
+{
+    std::string name;
+    double norm[6] = {};
+    std::string error;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opts(argc, argv);
     banner("F2", "fence speculation vs baseline (normalized runtime, "
                  "baseline RMO = 1.00)");
 
     harness::Table table({"workload", "SC", "IF-SC", "TSO", "IF-TSO",
                           "RMO", "IF-RMO"});
 
-    double geo[6] = {1, 1, 1, 1, 1, 1};
-    unsigned rows = 0;
-
-    for (auto &wl : workload::standardSuite(2)) {
-        double cycles[6] = {};
-        double rmo_base = 0;
-        int i = 0;
-        for (auto model : {cpu::ConsistencyModel::SC,
-                           cpu::ConsistencyModel::TSO,
-                           cpu::ConsistencyModel::RMO}) {
-            for (bool speculative : {false, true}) {
-                harness::SystemConfig cfg = defaultConfig();
-                cfg.model = model;
-                if (speculative)
-                    cfg.withSpeculation();
-                RunResult r = measure(*wl, cfg);
-                cycles[i] = static_cast<double>(r.cycles);
-                if (model == cpu::ConsistencyModel::RMO &&
-                    !speculative) {
-                    rmo_base = cycles[i];
+    std::vector<std::function<WorkloadNorms()>> tasks;
+    for (auto &wl : sharedSuite(2)) {
+        tasks.push_back([wl]() -> WorkloadNorms {
+            WorkloadNorms out;
+            out.name = wl->name();
+            double cycles[6] = {};
+            double rmo_base = 0;
+            int i = 0;
+            for (auto model : {cpu::ConsistencyModel::SC,
+                               cpu::ConsistencyModel::TSO,
+                               cpu::ConsistencyModel::RMO}) {
+                for (bool speculative : {false, true}) {
+                    harness::SystemConfig cfg = defaultConfig();
+                    cfg.model = model;
+                    if (speculative)
+                        cfg.withSpeculation();
+                    RunOutcome r = measure(*wl, cfg);
+                    if (!r) {
+                        out.error = r.error;
+                        return out;
+                    }
+                    cycles[i] = static_cast<double>(r.result.cycles);
+                    if (model == cpu::ConsistencyModel::RMO &&
+                        !speculative) {
+                        rmo_base = cycles[i];
+                    }
+                    ++i;
                 }
-                ++i;
             }
-        }
-        std::vector<std::string> row{wl->name()};
+            for (int c = 0; c < 6; ++c)
+                out.norm[c] = cycles[c] / rmo_base;
+            return out;
+        });
+    }
+
+    auto results = runSweep(opts, std::move(tasks));
+    if (!sweepOk(results,
+                 [](const WorkloadNorms &w) { return w.error; }))
+        return 1;
+
+    double geo[6] = {1, 1, 1, 1, 1, 1};
+    for (const auto &w : results) {
+        std::vector<std::string> row{w.name};
         // column order: SC, IF-SC, TSO, IF-TSO, RMO, IF-RMO
         for (int c = 0; c < 6; ++c) {
-            const double norm = cycles[c] / rmo_base;
-            row.push_back(harness::fmt(norm));
-            geo[c] *= norm;
+            row.push_back(harness::fmt(w.norm[c]));
+            geo[c] *= w.norm[c];
         }
         table.addRow(std::move(row));
-        ++rows;
     }
 
     std::vector<std::string> gmean{"geomean"};
     for (int c = 0; c < 6; ++c)
         gmean.push_back(harness::fmt(
-            std::pow(geo[c], 1.0 / rows)));
+            std::pow(geo[c], 1.0 / results.size())));
     table.addRow(std::move(gmean));
 
     table.print(std::cout);

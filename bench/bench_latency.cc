@@ -15,13 +15,61 @@
 using namespace fenceless;
 using namespace fenceless::bench;
 
-int
-main()
+namespace
 {
+
+using Make = std::function<workload::WorkloadPtr()>;
+
+/** One (workload, latency) point: base + speculative runs. */
+struct Meas
+{
+    double speedup = 0;
+    std::uint64_t max_stores_per_epoch = 0;
+    std::string error;
+};
+
+Meas
+runPoint(const Make &make, Cycles dram_latency)
+{
+    Meas out;
+    harness::SystemConfig cfg = defaultConfig();
+    cfg.model = cpu::ConsistencyModel::SC;
+    cfg.l2.dram_latency = dram_latency;
+    auto base_wl = make();
+    RunOutcome base = measure(*base_wl, cfg);
+    if (!base) {
+        out.error = base.error;
+        return out;
+    }
+
+    cfg.withSpeculation();
+    auto wl = make();
+    MeasuredSystem m = measureSystem(*wl, cfg);
+    if (!m.ok()) {
+        out.error = m.error;
+        return out;
+    }
+    out.speedup = static_cast<double>(base.result.cycles)
+                  / static_cast<double>(m.sys->runtimeCycles());
+    for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+        out.max_stores_per_epoch =
+            std::max(out.max_stores_per_epoch,
+                     m.sys->specController(c)->maxStoresPerEpoch());
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opts(argc, argv);
     banner("F6", "speedup of IF-SC over SC vs DRAM latency "
                  "(8 cores)");
 
     const Cycles latencies[] = {40, 80, 160, 320};
+    const unsigned num_lats = 4;
 
     std::vector<std::string> headers{"workload"};
     for (Cycles l : latencies)
@@ -32,39 +80,34 @@ main()
     workload::LocalLockStream::Params deep;
     deep.iters = 96;
     deep.stream_stores = 8;
-    workload::WorkloadPtr wls[] = {
-        std::make_unique<workload::LocalLockStream>(),
-        std::make_unique<workload::LocalLockStream>(deep),
-        std::make_unique<workload::Stencil2D>(),
+    const Make entries[] = {
+        [] { return std::make_unique<workload::LocalLockStream>(); },
+        [deep] {
+            return std::make_unique<workload::LocalLockStream>(deep);
+        },
+        [] { return std::make_unique<workload::Stencil2D>(); },
     };
 
-    for (auto &wl : wls) {
-        std::vector<std::string> row{wl->name()};
-        std::uint64_t depth_at_max = 0;
-        for (Cycles lat : latencies) {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = cpu::ConsistencyModel::SC;
-            cfg.l2.dram_latency = lat;
-            const double base = static_cast<double>(
-                measure(*wl, cfg).cycles);
+    // One task per (workload, latency) point.
+    std::vector<std::function<Meas()>> tasks;
+    for (const Make &make : entries) {
+        for (Cycles lat : latencies)
+            tasks.push_back([make, lat] { return runPoint(make, lat); });
+    }
 
-            cfg.withSpeculation();
-            isa::Program prog = wl->build(cfg.num_cores);
-            harness::System sys(cfg, prog);
-            if (!sys.run())
-                fatal("'", wl->name(), "' did not terminate");
-            std::string error;
-            if (!wl->check(sys.memReader(), cfg.num_cores, error))
-                fatal(error);
-            row.push_back(harness::fmt(
-                base / static_cast<double>(sys.runtimeCycles())));
-            if (lat == latencies[3]) {
-                for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
-                    depth_at_max = std::max(
-                        depth_at_max, sys.specController(c)
-                                          ->maxStoresPerEpoch());
-                }
-            }
+    auto results = runSweep(opts, std::move(tasks));
+    if (!sweepOk(results, [](const Meas &m) { return m.error; }))
+        return 1;
+
+    std::size_t idx = 0;
+    for (const Make &make : entries) {
+        std::vector<std::string> row{make()->name()};
+        std::uint64_t depth_at_max = 0;
+        for (unsigned i = 0; i < num_lats; ++i) {
+            const Meas &m = results[idx++];
+            row.push_back(harness::fmt(m.speedup));
+            if (i == num_lats - 1)
+                depth_at_max = m.max_stores_per_epoch;
         }
         row.push_back(std::to_string(depth_at_max));
         table.addRow(std::move(row));

@@ -13,8 +13,9 @@ using namespace fenceless;
 using namespace fenceless::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::Options opts(argc, argv);
     banner("F3", "on-demand vs continuous speculation (SC, runtime "
                  "normalized to baseline SC)");
 
@@ -22,46 +23,57 @@ main()
                           "od epochs", "cont epochs", "od rlbk",
                           "cont rlbk"});
 
-    for (auto &wl : workload::standardSuite(2)) {
-        double base_cycles = 0;
-        double cycles[2] = {};
-        std::uint64_t epochs[2] = {};
-        std::uint64_t rollbacks[2] = {};
+    std::vector<std::function<Row()>> tasks;
+    for (auto &wl : sharedSuite(2)) {
+        tasks.push_back([wl]() -> Row {
+            double base_cycles = 0;
+            double cycles[2] = {};
+            std::uint64_t epochs[2] = {};
+            std::uint64_t rollbacks[2] = {};
 
-        {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = cpu::ConsistencyModel::SC;
-            base_cycles =
-                static_cast<double>(measure(*wl, cfg).cycles);
-        }
-        int i = 0;
-        for (auto mode : {spec::SpecMode::OnDemand,
-                          spec::SpecMode::Continuous}) {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = cpu::ConsistencyModel::SC;
-            cfg.spec.mode = mode;
-            isa::Program prog = wl->build(cfg.num_cores);
-            harness::System sys(cfg, prog);
-            if (!sys.run())
-                fatal("'", wl->name(), "' did not terminate");
-            std::string error;
-            if (!wl->check(sys.memReader(), cfg.num_cores, error))
-                fatal(error);
-            cycles[i] = static_cast<double>(sys.runtimeCycles());
-            for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
-                epochs[i] += sys.specController(c)->epochsStarted();
-                rollbacks[i] += sys.specController(c)->rollbacks();
+            {
+                harness::SystemConfig cfg = defaultConfig();
+                cfg.model = cpu::ConsistencyModel::SC;
+                RunOutcome r = measure(*wl, cfg);
+                if (!r)
+                    return {{}, r.error};
+                base_cycles = static_cast<double>(r.result.cycles);
             }
-            ++i;
-        }
-        table.addRow({wl->name(), "1.00",
-                      harness::fmt(cycles[0] / base_cycles),
-                      harness::fmt(cycles[1] / base_cycles),
-                      std::to_string(epochs[0]),
-                      std::to_string(epochs[1]),
-                      std::to_string(rollbacks[0]),
-                      std::to_string(rollbacks[1])});
+            int i = 0;
+            for (auto mode : {spec::SpecMode::OnDemand,
+                              spec::SpecMode::Continuous}) {
+                harness::SystemConfig cfg = defaultConfig();
+                cfg.model = cpu::ConsistencyModel::SC;
+                cfg.spec.mode = mode;
+                MeasuredSystem m = measureSystem(*wl, cfg);
+                if (!m.ok())
+                    return {{}, m.error};
+                cycles[i] =
+                    static_cast<double>(m.sys->runtimeCycles());
+                for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+                    epochs[i] +=
+                        m.sys->specController(c)->epochsStarted();
+                    rollbacks[i] +=
+                        m.sys->specController(c)->rollbacks();
+                }
+                ++i;
+            }
+            return {{wl->name(), "1.00",
+                     harness::fmt(cycles[0] / base_cycles),
+                     harness::fmt(cycles[1] / base_cycles),
+                     std::to_string(epochs[0]),
+                     std::to_string(epochs[1]),
+                     std::to_string(rollbacks[0]),
+                     std::to_string(rollbacks[1])},
+                    ""};
+        });
     }
+
+    auto rows = runSweep(opts, std::move(tasks));
+    if (!sweepOk(rows))
+        return 1;
+    for (auto &row : rows)
+        table.addRow(std::move(row.cells));
     table.print(std::cout);
     std::cout << "\nShape: both modes beat the baseline; continuous "
                  "uses far fewer (longer)\nepochs and risks more "

@@ -22,14 +22,15 @@ namespace
 struct Point
 {
     std::string label;
-    workload::WorkloadPtr wl;
+    std::function<workload::WorkloadPtr()> make;
 };
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::Options opts(argc, argv);
     banner("F5", "rollbacks vs contention (on-demand SC, 8 cores)");
 
     std::vector<Point> points;
@@ -39,54 +40,69 @@ main()
         workload::IrregularUpdate::Params p;
         p.updates = 512;
         p.bins = bins;
-        points.push_back({"irregular/" + std::to_string(bins) + "bins",
-                          std::make_unique<workload::IrregularUpdate>(
-                              p)});
+        points.push_back(
+            {"irregular/" + std::to_string(bins) + "bins", [p] {
+                 return std::make_unique<workload::IrregularUpdate>(p);
+             }});
     }
     for (std::uint64_t iters : {200, 400}) {
         workload::Dekker::Params p;
         p.iters = iters;
-        points.push_back({"dekker/" + std::to_string(iters),
-                          std::make_unique<workload::Dekker>(p)});
+        points.push_back({"dekker/" + std::to_string(iters), [p] {
+                              return std::make_unique<
+                                  workload::Dekker>(p);
+                          }});
     }
 
     harness::Table table({"workload", "rollbacks/1k-inst",
                           "discarded-inst%", "epochs", "speedup vs "
                           "base"});
 
-    for (auto &pt : points) {
-        harness::SystemConfig base_cfg = defaultConfig();
-        base_cfg.model = cpu::ConsistencyModel::SC;
-        const double base_cycles = static_cast<double>(
-            measure(*pt.wl, base_cfg).cycles);
+    std::vector<std::function<Row()>> tasks;
+    for (const auto &pt : points) {
+        tasks.push_back([pt]() -> Row {
+            harness::SystemConfig base_cfg = defaultConfig();
+            base_cfg.model = cpu::ConsistencyModel::SC;
+            auto base_wl = pt.make();
+            RunOutcome base = measure(*base_wl, base_cfg);
+            if (!base)
+                return {{}, base.error};
+            const double base_cycles =
+                static_cast<double>(base.result.cycles);
 
-        harness::SystemConfig cfg = base_cfg;
-        cfg.withSpeculation();
-        isa::Program prog = pt.wl->build(cfg.num_cores);
-        harness::System sys(cfg, prog);
-        if (!sys.run())
-            fatal("'", pt.label, "' did not terminate");
-        std::string error;
-        if (!pt.wl->check(sys.memReader(), cfg.num_cores, error))
-            fatal(error);
+            harness::SystemConfig cfg = base_cfg;
+            cfg.withSpeculation();
+            auto wl = pt.make();
+            MeasuredSystem m = measureSystem(*wl, cfg);
+            if (!m.ok())
+                return {{}, m.error};
 
-        std::uint64_t rollbacks = 0, epochs = 0, discarded = 0;
-        std::uint64_t insts = sys.totalInstructions();
-        for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
-            auto *ctrl = sys.specController(c);
-            rollbacks += ctrl->rollbacks();
-            epochs += ctrl->epochsStarted();
-            discarded += ctrl->statGroup().scalarCount(
-                "discarded_insts");
-        }
-        table.addRow(
-            {pt.label,
-             harness::fmt(1000.0 * rollbacks / insts, 3),
-             harness::fmt(100.0 * discarded / (insts + discarded), 2),
-             std::to_string(epochs),
-             harness::fmt(base_cycles
-                          / static_cast<double>(sys.runtimeCycles()))});
+            std::uint64_t rollbacks = 0, epochs = 0, discarded = 0;
+            std::uint64_t insts = m.sys->totalInstructions();
+            for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+                auto *ctrl = m.sys->specController(c);
+                rollbacks += ctrl->rollbacks();
+                epochs += ctrl->epochsStarted();
+                discarded += ctrl->statGroup().scalarCount(
+                    "discarded_insts");
+            }
+            return {{pt.label,
+                     harness::fmt(1000.0 * rollbacks / insts, 3),
+                     harness::fmt(
+                         100.0 * discarded / (insts + discarded), 2),
+                     std::to_string(epochs),
+                     harness::fmt(base_cycles
+                                  / static_cast<double>(
+                                      m.sys->runtimeCycles()))},
+                    ""};
+        });
     }
+
+    auto rows = runSweep(opts, std::move(tasks));
+    if (!sweepOk(rows))
+        return 1;
+    for (auto &row : rows)
+        table.addRow(std::move(row.cells));
     table.print(std::cout);
     std::cout << "\nShape: speedup grows as contention falls (more "
                  "bins).  At extreme\ncontention the rollback backoff "

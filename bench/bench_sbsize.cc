@@ -14,56 +14,103 @@
 using namespace fenceless;
 using namespace fenceless::bench;
 
-int
-main()
+namespace
 {
+
+using Make = std::function<workload::WorkloadPtr()>;
+
+/** Raw cycles for one config row across the swept buffer sizes. */
+struct Series
+{
+    std::vector<double> cycles;
+    std::string error;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opts(argc, argv);
     banner("F7", "runtime vs store-buffer size (store-intensive "
                  "workloads, normalized to 16-entry TSO baseline)");
 
     const unsigned sizes[] = {2, 4, 8, 16, 32};
+    const unsigned ref_size_index = 3; // sb=16
 
     workload::LocalLockStream::Params deep;
     deep.iters = 96;
     deep.stream_stores = 8;
-    workload::WorkloadPtr wls[] = {
-        std::make_unique<workload::LocalLockStream>(deep),
-        std::make_unique<workload::ProdCons>(),
+    const Make entries[] = {
+        [deep] {
+            return std::make_unique<workload::LocalLockStream>(deep);
+        },
+        [] { return std::make_unique<workload::ProdCons>(); },
     };
 
-    for (auto &wl : wls) {
-        std::cout << "-- " << wl->name() << " --\n";
+    struct ConfigRow
+    {
+        cpu::ConsistencyModel model;
+        bool speculative;
+    };
+    const ConfigRow config_rows[] = {
+        {cpu::ConsistencyModel::SC, false},
+        {cpu::ConsistencyModel::SC, true},
+        {cpu::ConsistencyModel::TSO, false},
+        {cpu::ConsistencyModel::TSO, true},
+    };
+
+    // One task per (workload, model, speculation) row, sweeping the
+    // buffer sizes inside; the TSO baseline row at sb=16 doubles as
+    // the normalization reference, so no extra reference run needed.
+    std::vector<std::function<Series()>> tasks;
+    for (const Make &make : entries) {
+        for (const ConfigRow &cr : config_rows) {
+            tasks.push_back([make, cr]() -> Series {
+                Series s;
+                for (unsigned size : {2u, 4u, 8u, 16u, 32u}) {
+                    harness::SystemConfig cfg = defaultConfig();
+                    cfg.model = cr.model;
+                    cfg.sb_size = size;
+                    if (cr.speculative)
+                        cfg.withSpeculation();
+                    auto wl = make();
+                    RunOutcome r = measure(*wl, cfg);
+                    if (!r) {
+                        s.error = r.error;
+                        return s;
+                    }
+                    s.cycles.push_back(
+                        static_cast<double>(r.result.cycles));
+                }
+                return s;
+            });
+        }
+    }
+
+    auto results = runSweep(opts, std::move(tasks));
+    if (!sweepOk(results, [](const Series &s) { return s.error; }))
+        return 1;
+
+    std::size_t idx = 0;
+    for (const Make &make : entries) {
+        std::cout << "-- " << make()->name() << " --\n";
         std::vector<std::string> headers{"config"};
         for (unsigned s : sizes)
             headers.push_back("sb=" + std::to_string(s));
         harness::Table table(std::move(headers));
 
-        // Reference: TSO baseline with 16 entries.
-        double ref = 0;
-        {
-            harness::SystemConfig cfg = defaultConfig();
-            cfg.model = cpu::ConsistencyModel::TSO;
-            cfg.sb_size = 16;
-            ref = static_cast<double>(measure(*wl, cfg).cycles);
-        }
-
-        for (auto model : {cpu::ConsistencyModel::SC,
-                           cpu::ConsistencyModel::TSO}) {
-            for (bool speculative : {false, true}) {
-                std::vector<std::string> row{
-                    std::string(speculative ? "IF-" : "")
-                    + consistencyModelName(model)};
-                for (unsigned s : sizes) {
-                    harness::SystemConfig cfg = defaultConfig();
-                    cfg.model = model;
-                    cfg.sb_size = s;
-                    if (speculative)
-                        cfg.withSpeculation();
-                    const double cycles = static_cast<double>(
-                        measure(*wl, cfg).cycles);
-                    row.push_back(harness::fmt(cycles / ref));
-                }
-                table.addRow(std::move(row));
-            }
+        // Reference: this workload's TSO baseline at 16 entries.
+        const double ref =
+            results[idx + 2].cycles[ref_size_index];
+        for (const ConfigRow &cr : config_rows) {
+            const Series &s = results[idx++];
+            std::vector<std::string> row{
+                std::string(cr.speculative ? "IF-" : "")
+                + consistencyModelName(cr.model)};
+            for (double cycles : s.cycles)
+                row.push_back(harness::fmt(cycles / ref));
+            table.addRow(std::move(row));
         }
         table.print(std::cout);
         std::cout << "\n";

@@ -15,12 +15,30 @@
 using namespace fenceless;
 using namespace fenceless::bench;
 
-int
-main()
+namespace
 {
+
+using Make = std::function<workload::WorkloadPtr()>;
+
+/** One (workload, core-count) point: base + speculative runs. */
+struct Meas
+{
+    bool skipped = false; //!< below the workload's minThreads
+    double speedup = 0;
+    std::uint64_t rollbacks = 0;
+    std::string error;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    harness::Options opts(argc, argv);
     banner("F9", "IF-SC speedup over SC vs core count");
 
     const std::uint32_t core_counts[] = {1, 2, 4, 8, 16};
+    const unsigned num_counts = 5;
 
     std::vector<std::string> headers{"workload"};
     for (auto c : core_counts)
@@ -28,37 +46,64 @@ main()
     headers.push_back("rollbacks@16c");
     harness::Table table(std::move(headers));
 
-    workload::WorkloadPtr wls[] = {
-        std::make_unique<workload::LocalLockStream>(),
-        std::make_unique<workload::Stencil2D>(),
-        std::make_unique<workload::SpinlockCrit>(),
+    const Make entries[] = {
+        [] { return std::make_unique<workload::LocalLockStream>(); },
+        [] { return std::make_unique<workload::Stencil2D>(); },
+        [] { return std::make_unique<workload::SpinlockCrit>(); },
     };
 
-    for (auto &wl : wls) {
-        std::vector<std::string> row{wl->name()};
-        std::uint64_t rollbacks_at_16 = 0;
+    // One task per (workload, core count) point.
+    std::vector<std::function<Meas()>> tasks;
+    for (const Make &make : entries) {
         for (std::uint32_t cores : core_counts) {
-            if (cores < wl->minThreads()) {
+            tasks.push_back([make, cores]() -> Meas {
+                Meas out;
+                auto base_wl = make();
+                if (cores < base_wl->minThreads()) {
+                    out.skipped = true;
+                    return out;
+                }
+                harness::SystemConfig cfg = defaultConfig(cores);
+                cfg.model = cpu::ConsistencyModel::SC;
+                RunOutcome base = measure(*base_wl, cfg);
+                if (!base) {
+                    out.error = base.error;
+                    return out;
+                }
+
+                cfg.withSpeculation();
+                auto wl = make();
+                MeasuredSystem m = measureSystem(*wl, cfg);
+                if (!m.ok()) {
+                    out.error = m.error;
+                    return out;
+                }
+                out.speedup =
+                    static_cast<double>(base.result.cycles)
+                    / static_cast<double>(m.sys->runtimeCycles());
+                out.rollbacks = m.sys->totalRollbacks();
+                return out;
+            });
+        }
+    }
+
+    auto results = runSweep(opts, std::move(tasks));
+    if (!sweepOk(results, [](const Meas &m) { return m.error; }))
+        return 1;
+
+    std::size_t idx = 0;
+    for (const Make &make : entries) {
+        std::vector<std::string> row{make()->name()};
+        std::uint64_t rollbacks_at_16 = 0;
+        for (unsigned i = 0; i < num_counts; ++i) {
+            const Meas &m = results[idx++];
+            if (m.skipped) {
                 row.push_back("-");
                 continue;
             }
-            harness::SystemConfig cfg = defaultConfig(cores);
-            cfg.model = cpu::ConsistencyModel::SC;
-            const double base = static_cast<double>(
-                measure(*wl, cfg).cycles);
-
-            cfg.withSpeculation();
-            isa::Program prog = wl->build(cfg.num_cores);
-            harness::System sys(cfg, prog);
-            if (!sys.run())
-                fatal("'", wl->name(), "' did not terminate");
-            std::string error;
-            if (!wl->check(sys.memReader(), cfg.num_cores, error))
-                fatal(error);
-            row.push_back(harness::fmt(
-                base / static_cast<double>(sys.runtimeCycles())));
-            if (cores == 16)
-                rollbacks_at_16 = sys.totalRollbacks();
+            row.push_back(harness::fmt(m.speedup));
+            if (core_counts[i] == 16)
+                rollbacks_at_16 = m.rollbacks;
         }
         row.push_back(std::to_string(rollbacks_at_16));
         table.addRow(std::move(row));

@@ -1,13 +1,29 @@
 /**
  * @file
  * Simulator self-benchmark (google-benchmark): host-side throughput of
- * the event kernel and of whole-system simulation, in simulated
- * cycles and instructions per wall second.  Not part of the paper
- * reconstruction; used to track simulator performance regressions.
+ * the event kernel, of whole-system simulation, and of the host-
+ * parallel sweep runner, in simulated cycles and instructions per wall
+ * second.  Not part of the paper reconstruction; used to track
+ * simulator performance regressions.
+ *
+ * Besides the usual console output, the binary writes
+ * BENCH_simperf.json (benchmark name -> items/sec) so successive PRs
+ * have a machine-readable trajectory to compare against.
+ *
+ * Accepts --jobs=N (worker threads for BM_ParallelSweep; default
+ * hardware concurrency) ahead of the standard --benchmark_* flags.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/sweep.hh"
 #include "harness/system.hh"
 #include "sim/eventq.hh"
 #include "workload/microbench.hh"
@@ -16,6 +32,8 @@ using namespace fenceless;
 
 namespace
 {
+
+unsigned sweep_jobs = 0; // 0 = hardware concurrency
 
 void
 BM_EventQueue(benchmark::State &state)
@@ -31,6 +49,10 @@ BM_EventQueue(benchmark::State &state)
         benchmark::DoNotOptimize(fired);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+    // Pooling means the node count stops growing after the first
+    // burst: this counter catching fire is an allocation regression.
+    state.counters["oneshot_nodes"] = static_cast<double>(
+        eq.oneShotNodesAllocated());
 }
 BENCHMARK(BM_EventQueue);
 
@@ -61,6 +83,107 @@ BM_FullSystem(benchmark::State &state)
 }
 BENCHMARK(BM_FullSystem)->Arg(0)->Arg(1);
 
+void
+BM_ParallelSweep(benchmark::State &state)
+{
+    const unsigned batch = 8;
+    std::uint64_t sim_insts = 0;
+    harness::SweepRunner runner(sweep_jobs);
+    for (auto _ : state) {
+        std::vector<std::function<std::uint64_t()>> tasks;
+        for (unsigned i = 0; i < batch; ++i) {
+            tasks.push_back([]() -> std::uint64_t {
+                harness::SystemConfig cfg;
+                cfg.num_cores = 4;
+                cfg.model = cpu::ConsistencyModel::TSO;
+                workload::SpinlockCrit wl;
+                isa::Program prog = wl.build(cfg.num_cores);
+                harness::System sys(cfg, prog);
+                sys.run();
+                return sys.totalInstructions();
+            });
+        }
+        for (std::uint64_t insts : runner.map(std::move(tasks)))
+            sim_insts += insts;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
+    state.counters["jobs"] = static_cast<double>(runner.jobs());
+}
+BENCHMARK(BM_ParallelSweep)->Unit(benchmark::kMillisecond);
+
+/**
+ * Console output as usual, plus a capture of every run's items/sec for
+ * the JSON trajectory file.
+ */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred) {
+                continue;
+            }
+            double items = 0;
+            if (auto it = run.counters.find("items_per_second");
+                it != run.counters.end()) {
+                items = it->second;
+            }
+            captured.emplace_back(run.benchmark_name(), items);
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+    std::vector<std::pair<std::string, double>> captured;
+};
+
+void
+writeJson(const std::vector<std::pair<std::string, double>> &captured,
+          const std::string &path)
+{
+    std::ofstream os(path);
+    os << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < captured.size(); ++i) {
+        os << "    {\"name\": \"" << captured[i].first
+           << "\", \"items_per_second\": " << captured[i].second
+           << "}" << (i + 1 < captured.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off our --jobs flag before google-benchmark sees argv.
+    std::vector<char *> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+            try {
+                sweep_jobs = static_cast<unsigned>(
+                    std::stoul(argv[i] + 7));
+            } catch (const std::exception &) {
+                std::cerr << "error: option --jobs expects a number, "
+                             "got '" << (argv[i] + 7) << "'\n";
+                return 1;
+            }
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    int filtered_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&filtered_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(filtered_argc,
+                                               args.data())) {
+        return 1;
+    }
+
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    writeJson(reporter.captured, "BENCH_simperf.json");
+    benchmark::Shutdown();
+    return 0;
+}

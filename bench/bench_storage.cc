@@ -20,8 +20,9 @@ using namespace fenceless;
 using namespace fenceless::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::Options opts(argc, argv);
     banner("T3", "speculative storage vs speculation depth");
 
     {
@@ -53,35 +54,42 @@ main()
     harness::Table table({"workload", "max stores/epoch",
                           "max SW blocks", "max SR blocks",
                           "mean epoch insts"});
-    for (auto &wl : workload::standardSuite(2)) {
-        harness::SystemConfig cfg = defaultConfig();
-        cfg.model = cpu::ConsistencyModel::SC;
-        cfg.withSpeculation();
-        isa::Program prog = wl->build(cfg.num_cores);
-        harness::System sys(cfg, prog);
-        if (!sys.run())
-            fatal("'", wl->name(), "' did not terminate");
-        std::string error;
-        if (!wl->check(sys.memReader(), cfg.num_cores, error))
-            fatal(error);
 
-        std::uint64_t max_stores = 0, max_sw = 0, max_sr = 0;
-        double insts_sum = 0;
-        for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
-            auto *ctrl = sys.specController(c);
-            max_stores = std::max(max_stores,
-                                  ctrl->maxStoresPerEpoch());
-            max_sw = std::max(max_sw, ctrl->maxSwBlocks());
-            max_sr = std::max(max_sr, ctrl->maxSrBlocks());
-            const auto *d = dynamic_cast<const
-                statistics::Distribution *>(
-                ctrl->statGroup().find("epoch_insts"));
-            insts_sum += d ? d->mean() : 0.0;
-        }
-        table.addRow({wl->name(), std::to_string(max_stores),
-                      std::to_string(max_sw), std::to_string(max_sr),
-                      harness::fmt(insts_sum / cfg.num_cores, 1)});
+    std::vector<std::function<Row()>> tasks;
+    for (auto &wl : sharedSuite(2)) {
+        tasks.push_back([wl]() -> Row {
+            harness::SystemConfig cfg = defaultConfig();
+            cfg.model = cpu::ConsistencyModel::SC;
+            cfg.withSpeculation();
+            MeasuredSystem m = measureSystem(*wl, cfg);
+            if (!m.ok())
+                return {{}, m.error};
+
+            std::uint64_t max_stores = 0, max_sw = 0, max_sr = 0;
+            double insts_sum = 0;
+            for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+                auto *ctrl = m.sys->specController(c);
+                max_stores = std::max(max_stores,
+                                      ctrl->maxStoresPerEpoch());
+                max_sw = std::max(max_sw, ctrl->maxSwBlocks());
+                max_sr = std::max(max_sr, ctrl->maxSrBlocks());
+                const auto *d = dynamic_cast<const
+                    statistics::Distribution *>(
+                    ctrl->statGroup().find("epoch_insts"));
+                insts_sum += d ? d->mean() : 0.0;
+            }
+            return {{wl->name(), std::to_string(max_stores),
+                     std::to_string(max_sw), std::to_string(max_sr),
+                     harness::fmt(insts_sum / cfg.num_cores, 1)},
+                    ""};
+        });
     }
+
+    auto rows = runSweep(opts, std::move(tasks));
+    if (!sweepOk(rows))
+        return 1;
+    for (auto &row : rows)
+        table.addRow(std::move(row.cells));
     table.print(std::cout);
     return 0;
 }

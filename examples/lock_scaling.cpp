@@ -6,11 +6,17 @@
  * the critical path) and where it cannot (pure lock-handoff
  * serialization).
  *
- *   $ ./lock_scaling
+ * The (lock, core-count) points are independent simulations, so they
+ * run host-parallel through harness::SweepRunner (--jobs=N; output is
+ * identical for any value).
+ *
+ *   $ ./lock_scaling [--jobs=N]
  */
 
 #include <iostream>
 
+#include "harness/options.hh"
+#include "harness/sweep.hh"
 #include "harness/system.hh"
 #include "harness/table.hh"
 #include "workload/microbench.hh"
@@ -20,8 +26,17 @@ using namespace fenceless;
 namespace
 {
 
+/** Baseline and speculative cycles of one (lock, cores) point. */
+struct Point
+{
+    double base = 0;
+    double spec = 0;
+    std::string error;
+};
+
 double
-run(workload::Workload &wl, std::uint32_t cores, bool speculative)
+run(workload::Workload &wl, std::uint32_t cores, bool speculative,
+    std::string &error)
 {
     harness::SystemConfig cfg;
     cfg.num_cores = cores;
@@ -32,24 +47,24 @@ run(workload::Workload &wl, std::uint32_t cores, bool speculative)
     isa::Program prog = wl.build(cores);
     harness::System sys(cfg, prog);
     if (!sys.run()) {
-        std::cerr << wl.name() << " did not terminate\n";
-        std::exit(1);
+        error = wl.name() + " did not terminate";
+        return 0;
     }
-    std::string error;
     if (!wl.check(sys.memReader(), cores, error)) {
-        std::cerr << "postcondition failed: " << error << "\n";
-        std::exit(1);
+        error = "postcondition failed: " + error;
+        return 0;
     }
-    // Normalize to acquisitions per kilocycle across the machine.
     return static_cast<double>(sys.runtimeCycles());
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::Options opts(argc, argv);
     const std::uint32_t counts[] = {1, 2, 4, 8};
+    const unsigned num_counts = 4;
 
     std::cout << "Lock-section throughput vs core count (TSO; cycles "
                  "per run,\nlower is better; IF = fence speculation "
@@ -70,17 +85,42 @@ main()
          [] { return std::make_unique<workload::LocalLockStream>(); }},
     };
 
+    std::vector<std::function<Point()>> tasks;
+    for (const auto &entry : entries) {
+        for (std::uint32_t c : counts) {
+            auto make = entry.make;
+            tasks.push_back([make, c]() -> Point {
+                Point pt;
+                auto wl_base = make();
+                pt.base = run(*wl_base, c, false, pt.error);
+                if (!pt.error.empty())
+                    return pt;
+                auto wl_spec = make();
+                pt.spec = run(*wl_spec, c, true, pt.error);
+                return pt;
+            });
+        }
+    }
+
+    harness::SweepRunner runner(opts.jobs());
+    auto points = runner.map(std::move(tasks));
+    for (const auto &pt : points) {
+        if (!pt.error.empty()) {
+            std::cerr << "error: " << pt.error << "\n";
+            return 1;
+        }
+    }
+
+    std::size_t idx = 0;
     for (const auto &entry : entries) {
         std::cout << "-- " << entry.label << " --\n";
         harness::Table table({"cores", "baseline", "IF", "speedup"});
-        for (std::uint32_t c : counts) {
-            auto wl_base = entry.make();
-            const double base = run(*wl_base, c, false);
-            auto wl_spec = entry.make();
-            const double specd = run(*wl_spec, c, true);
-            table.addRow({std::to_string(c), harness::fmt(base, 0),
-                          harness::fmt(specd, 0),
-                          harness::fmt(base / specd)});
+        for (unsigned i = 0; i < num_counts; ++i) {
+            const Point &pt = points[idx++];
+            table.addRow({std::to_string(counts[i]),
+                          harness::fmt(pt.base, 0),
+                          harness::fmt(pt.spec, 0),
+                          harness::fmt(pt.base / pt.spec)});
         }
         table.print(std::cout);
         std::cout << "\n";

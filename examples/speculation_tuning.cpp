@@ -5,11 +5,17 @@
  * and print runtime plus the full speculation statistics.  The place
  * to start when adapting the mechanism to a new workload.
  *
- *   $ ./speculation_tuning
+ * Each variant is an independent simulation, so the sweep runs
+ * host-parallel through harness::SweepRunner (--jobs=N; output is
+ * identical for any value).
+ *
+ *   $ ./speculation_tuning [--jobs=N]
  */
 
 #include <iostream>
 
+#include "harness/options.hh"
+#include "harness/sweep.hh"
 #include "harness/system.hh"
 #include "harness/table.hh"
 #include "workload/kernels.hh"
@@ -25,11 +31,72 @@ struct Variant
     spec::SpecController::Params params;
 };
 
+/** One rendered table row, or the error that prevented it. */
+struct Row
+{
+    std::vector<std::string> cells;
+    std::string error;
+};
+
+Row
+runVariant(const Variant &variant,
+           const workload::IrregularUpdate::Params &wp)
+{
+    Row row;
+    harness::SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.model = cpu::ConsistencyModel::SC;
+    cfg.spec = variant.params;
+
+    workload::IrregularUpdate wl(wp);
+    isa::Program prog = wl.build(cfg.num_cores);
+    harness::System sys(cfg, prog);
+    if (!sys.run()) {
+        row.error = variant.label + ": did not terminate";
+        return row;
+    }
+    std::string error;
+    if (!wl.check(sys.memReader(), cfg.num_cores, error)) {
+        row.error = variant.label + ": postcondition failed: " + error;
+        return row;
+    }
+
+    std::uint64_t epochs = 0, commits = 0, rollbacks = 0,
+                  discarded = 0;
+    double epoch_insts = 0;
+    unsigned with_ctrl = 0;
+    for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
+        auto *ctrl = sys.specController(c);
+        if (!ctrl)
+            continue;
+        ++with_ctrl;
+        epochs += ctrl->epochsStarted();
+        commits += ctrl->commits();
+        rollbacks += ctrl->rollbacks();
+        discarded += ctrl->statGroup().scalarCount("discarded_insts");
+        const auto *d = dynamic_cast<const
+            statistics::Distribution *>(
+            ctrl->statGroup().find("epoch_insts"));
+        epoch_insts += d ? d->mean() : 0;
+    }
+    row.cells = {variant.label,
+                 harness::fmt(
+                     static_cast<double>(sys.runtimeCycles()), 0),
+                 std::to_string(epochs), std::to_string(commits),
+                 std::to_string(rollbacks),
+                 std::to_string(discarded),
+                 with_ctrl ? harness::fmt(epoch_insts / with_ctrl, 1)
+                           : "-"};
+    return row;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::Options opts(argc, argv);
+
     workload::IrregularUpdate::Params wp;
     wp.updates = 512;
     wp.bins = 16; // moderately contended
@@ -80,53 +147,18 @@ main()
     harness::Table table({"variant", "cycles", "epochs", "commits",
                           "rollbacks", "discarded", "mean epoch"});
 
-    for (const auto &variant : variants) {
-        harness::SystemConfig cfg;
-        cfg.num_cores = 8;
-        cfg.model = cpu::ConsistencyModel::SC;
-        cfg.spec = variant.params;
+    std::vector<std::function<Row()>> tasks;
+    for (const auto &variant : variants)
+        tasks.push_back([variant, wp] { return runVariant(variant, wp); });
 
-        workload::IrregularUpdate wl(wp);
-        isa::Program prog = wl.build(cfg.num_cores);
-        harness::System sys(cfg, prog);
-        if (!sys.run()) {
-            std::cerr << "did not terminate\n";
+    harness::SweepRunner runner(opts.jobs());
+    auto rows = runner.map(std::move(tasks));
+    for (auto &row : rows) {
+        if (!row.error.empty()) {
+            std::cerr << "error: " << row.error << "\n";
             return 1;
         }
-        std::string error;
-        if (!wl.check(sys.memReader(), cfg.num_cores, error)) {
-            std::cerr << "postcondition failed: " << error << "\n";
-            return 1;
-        }
-
-        std::uint64_t epochs = 0, commits = 0, rollbacks = 0,
-                      discarded = 0;
-        double epoch_insts = 0;
-        unsigned with_ctrl = 0;
-        for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
-            auto *ctrl = sys.specController(c);
-            if (!ctrl)
-                continue;
-            ++with_ctrl;
-            epochs += ctrl->epochsStarted();
-            commits += ctrl->commits();
-            rollbacks += ctrl->rollbacks();
-            discarded += ctrl->statGroup().scalarCount(
-                "discarded_insts");
-            const auto *d = dynamic_cast<const
-                statistics::Distribution *>(
-                ctrl->statGroup().find("epoch_insts"));
-            epoch_insts += d ? d->mean() : 0;
-        }
-        table.addRow({variant.label,
-                      harness::fmt(
-                          static_cast<double>(sys.runtimeCycles()), 0),
-                      std::to_string(epochs), std::to_string(commits),
-                      std::to_string(rollbacks),
-                      std::to_string(discarded),
-                      with_ctrl ? harness::fmt(epoch_insts / with_ctrl,
-                                               1)
-                                : "-"});
+        table.addRow(std::move(row.cells));
     }
     table.print(std::cout);
 

@@ -1,35 +1,54 @@
 #include "base/logging.hh"
 
 #include <cstdlib>
+#include <mutex>
 
 namespace fenceless
 {
 namespace detail
 {
 
+namespace
+{
+
+// Serialise report lines: simulation runs may execute on several host
+// threads (harness::SweepRunner) and a warn() from one run must not
+// interleave mid-line with another's.
+std::mutex report_mutex;
+
+} // namespace
+
 void
 panicImpl(const std::string &msg)
 {
-    std::cerr << "panic: " << msg << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        std::cerr << "panic: " << msg << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << std::endl;
+    {
+        std::lock_guard<std::mutex> lock(report_mutex);
+        std::cerr << "fatal: " << msg << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(report_mutex);
     std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(report_mutex);
     std::cout << "info: " << msg << std::endl;
 }
 

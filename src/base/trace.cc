@@ -1,8 +1,10 @@
 #include "base/trace.hh"
 
+#include <atomic>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -13,13 +15,18 @@ namespace fenceless::trace
 namespace
 {
 
-std::uint32_t enabled_mask = 0;
-std::ostream *stream = nullptr;
+// The mask and stream are process-wide but read from every simulation
+// thread of a parallel sweep, so they are atomics; emit() serialises
+// under a mutex so concurrent runs never interleave half-lines.
+std::atomic<std::uint32_t> enabled_mask{0};
+std::atomic<std::ostream *> stream{nullptr};
+std::mutex emit_mutex;
 
 std::ostream &
 out()
 {
-    return stream ? *stream : std::cout;
+    std::ostream *os = stream.load(std::memory_order_acquire);
+    return os ? *os : std::cout;
 }
 
 } // namespace
@@ -66,19 +73,19 @@ parseFlags(const std::string &spec)
 void
 setEnabled(std::uint32_t mask)
 {
-    enabled_mask = mask;
+    enabled_mask.store(mask, std::memory_order_release);
 }
 
 std::uint32_t
 enabled()
 {
-    return enabled_mask;
+    return enabled_mask.load(std::memory_order_relaxed);
 }
 
 void
 setStream(std::ostream *os)
 {
-    stream = os;
+    stream.store(os, std::memory_order_release);
 }
 
 void
@@ -94,6 +101,7 @@ namespace detail
 void
 emit(Flag, Tick tick, const std::string &who, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(emit_mutex);
     out() << std::setw(10) << tick << ": " << who << ": " << msg
           << "\n";
 }

@@ -14,7 +14,7 @@ namespace
 const char *known_options[] = {
     "cores", "model", "spec", "granularity", "overflow", "sb-size",
     "l1-kb", "l2-kb", "dram-latency", "net-latency", "scale", "seed",
-    "csv", "help",
+    "jobs", "csv", "help",
 };
 
 bool
@@ -55,6 +55,7 @@ Options::Options(int argc, char **argv)
     csv_ = has("csv");
     scale_ = static_cast<unsigned>(getInt("scale", 1));
     seed_ = getInt("seed", 42);
+    jobs_ = static_cast<unsigned>(getInt("jobs", 0));
 }
 
 std::string
@@ -147,6 +148,9 @@ Options::printUsage(const std::string &prog)
         << "  --net-latency=N       interconnect hop latency (cycles)\n"
         << "  --scale=N             workload scaling factor\n"
         << "  --seed=N              workload seed\n"
+        << "  --jobs=N              host threads for independent runs\n"
+           "                        (default: hardware concurrency;\n"
+           "                        1 = sequential; output identical)\n"
         << "  --csv                 machine-readable tables\n"
         << "  --help                this message\n";
 }

@@ -21,6 +21,9 @@
  *     --net-latency=N      cycles
  *     --scale=N            workload scaling factor
  *     --seed=N             workload seed where applicable
+ *     --jobs=N             host threads for independent runs
+ *                          (0/default = hardware concurrency,
+ *                          1 = sequential legacy path)
  *     --csv                machine-readable table output
  *     --help               print usage and exit
  */
@@ -53,6 +56,13 @@ class Options
     unsigned scale() const { return scale_; }
     std::uint64_t seed() const { return seed_; }
 
+    /**
+     * Worker threads for host-parallel sweeps (SweepRunner); 0 means
+     * "pick the hardware concurrency".  Output is byte-identical for
+     * every value -- see harness/sweep.hh.
+     */
+    unsigned jobs() const { return jobs_; }
+
     /** @return true if the user passed the given option. */
     bool has(const std::string &name) const
     {
@@ -73,6 +83,7 @@ class Options
     bool csv_ = false;
     unsigned scale_ = 1;
     std::uint64_t seed_ = 42;
+    unsigned jobs_ = 0;
 };
 
 } // namespace fenceless::harness

@@ -3,42 +3,43 @@
 namespace fenceless::sim
 {
 
-namespace
-{
-
-/** A self-deleting event wrapping a callable. */
-class OneShotEvent : public Event
-{
-  public:
-    explicit OneShotEvent(std::function<void()> fn) : fn_(std::move(fn)) {}
-
-    void
-    process() override
-    {
-        fn_();
-        delete this;
-    }
-
-    std::string name() const override { return "one-shot"; }
-
-  private:
-    std::function<void()> fn_;
-};
-
-} // namespace
-
-void
-scheduleOneShot(EventQueue &eq, Tick when, std::function<void()> fn)
-{
-    eq.schedule(new OneShotEvent(std::move(fn)), when);
-}
-
 Event::~Event()
 {
     // An event must not be destroyed while scheduled: the queue would be
     // left holding a dangling pointer.  Components must deschedule their
     // events (or drain the queue) before tearing down.
     flAssert(!scheduled_, "event '", name(), "' destroyed while scheduled");
+}
+
+EventQueue::~EventQueue()
+{
+    // One-shot nodes are owned by the queue itself, so nodes still
+    // pending at teardown (a run that exhausted its cycle budget) die
+    // with the queue; unarm them so Event's destroyed-while-scheduled
+    // check only guards externally owned events.
+    for (auto &ev : oneshot_nodes_)
+        ev->scheduled_ = false;
+}
+
+EventQueue::OneShot *
+EventQueue::acquireOneShot()
+{
+    if (OneShot *ev = oneshot_free_) {
+        oneshot_free_ = ev->next_free;
+        ev->next_free = nullptr;
+        --oneshot_free_count_;
+        return ev;
+    }
+    oneshot_nodes_.push_back(std::make_unique<OneShot>(*this));
+    return oneshot_nodes_.back().get();
+}
+
+void
+EventQueue::releaseOneShot(OneShot *ev)
+{
+    ev->next_free = oneshot_free_;
+    oneshot_free_ = ev;
+    ++oneshot_free_count_;
 }
 
 void

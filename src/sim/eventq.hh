@@ -6,14 +6,26 @@
  * insertion-sequence) order, so a run is reproducible regardless of heap
  * internals.  Descheduling is lazy: a cancelled or rescheduled entry is
  * recognised as stale when popped and skipped.
+ *
+ * One-shot events -- the unbounded fire-and-forget callbacks used for
+ * cache responses and message deliveries -- are the hottest allocation
+ * site in the simulator, so they are pooled: the queue keeps fired
+ * nodes on an intrusive free list and reuses them, and the callable is
+ * stored inline in the node (no std::function, no per-fire heap
+ * traffic once the pool has warmed up).
  */
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
 #include <queue>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "base/logging.hh"
@@ -89,23 +101,84 @@ class EventFunctionWrapper : public Event
     std::string name_;
 };
 
+namespace detail
+{
+
 /**
- * Fire-and-forget: run @p fn at absolute tick @p when.  The event owns
- * itself and is destroyed after firing.  For callbacks whose count is
- * unbounded (cache responses, message deliveries); components with a
- * fixed set of recurring events should own EventFunctionWrapper members
- * instead.
+ * Type-erased nullary callable with inline storage, purpose-built for
+ * pooled one-shot events.  Closures up to inline_bytes (the common
+ * case: `this` plus a few words) live in the node itself; larger ones
+ * fall back to a heap box behind the same two-function dispatch.
  */
-void scheduleOneShot(class EventQueue &eq, Tick when,
-                     std::function<void()> fn);
+class OneShotFn
+{
+  public:
+    static constexpr std::size_t inline_bytes = 48;
+
+    OneShotFn() = default;
+    ~OneShotFn() { clear(); }
+
+    OneShotFn(const OneShotFn &) = delete;
+    OneShotFn &operator=(const OneShotFn &) = delete;
+
+    template <typename F>
+    void
+    emplace(F &&fn)
+    {
+        using D = std::decay_t<F>;
+        clear();
+        if constexpr (sizeof(D) <= inline_bytes &&
+                      alignof(D) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(storage_)) D(std::forward<F>(fn));
+            invoke_ = [](void *p) { (*static_cast<D *>(p))(); };
+            destroy_ = [](void *p) { static_cast<D *>(p)->~D(); };
+        } else {
+            using Box = D *;
+            ::new (static_cast<void *>(storage_))
+                Box(new D(std::forward<F>(fn)));
+            invoke_ = [](void *p) { (**static_cast<Box *>(p))(); };
+            destroy_ = [](void *p) { delete *static_cast<Box *>(p); };
+        }
+    }
+
+    bool armed() const { return invoke_ != nullptr; }
+
+    /** Run the stored callable (must be armed). */
+    void operator()() { invoke_(storage_); }
+
+    /** Destroy the stored callable, returning to the empty state. */
+    void
+    clear()
+    {
+        if (destroy_) {
+            destroy_(storage_);
+            invoke_ = nullptr;
+            destroy_ = nullptr;
+        }
+    }
+
+  private:
+    alignas(std::max_align_t) unsigned char storage_[inline_bytes];
+    void (*invoke_)(void *) = nullptr;
+    void (*destroy_)(void *) = nullptr;
+};
+
+} // namespace detail
 
 /**
  * The global event queue.  Single-threaded: one queue drives the whole
- * simulated system.
+ * simulated system.  Distinct queues share nothing, so independent
+ * systems may run concurrently on different host threads.
  */
 class EventQueue
 {
   public:
+    EventQueue() = default;
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
     Tick curTick() const { return cur_tick_; }
 
     bool empty() const { return num_scheduled_ == 0; }
@@ -121,6 +194,32 @@ class EventQueue
     void reschedule(Event *ev, Tick when);
 
     /**
+     * Fire-and-forget: run @p fn at absolute tick @p when.  The event
+     * node comes from the queue's free-list pool and returns to it
+     * after firing; the steady state allocates nothing.  For callbacks
+     * whose count is unbounded (cache responses, message deliveries);
+     * components with a fixed set of recurring events should own
+     * EventFunctionWrapper members instead.
+     */
+    template <typename F>
+    void
+    scheduleOneShot(Tick when, F &&fn)
+    {
+        OneShot *ev = acquireOneShot();
+        ev->fn.emplace(std::forward<F>(fn));
+        schedule(ev, when);
+    }
+
+    /** Total one-shot nodes ever allocated (pool high-water mark). */
+    std::size_t oneShotNodesAllocated() const
+    {
+        return oneshot_nodes_.size();
+    }
+
+    /** One-shot nodes currently parked on the free list. */
+    std::size_t oneShotNodesFree() const { return oneshot_free_count_; }
+
+    /**
      * Run until the queue drains or @p max_tick is passed.
      * @return the final current tick.
      */
@@ -130,6 +229,33 @@ class EventQueue
     bool step();
 
   private:
+    /** A pooled self-recycling event wrapping an inline callable. */
+    class OneShot final : public Event
+    {
+      public:
+        explicit OneShot(EventQueue &owner) : owner_(owner) {}
+
+        void
+        process() override
+        {
+            // Run, destroy the closure, then recycle the node.  The
+            // callable may schedule further one-shots; this node is
+            // not on the free list while it runs, so reentrant
+            // scheduling can never hand it out twice.
+            fn();
+            fn.clear();
+            owner_.releaseOneShot(this);
+        }
+
+        std::string name() const override { return "one-shot"; }
+
+        detail::OneShotFn fn;
+        OneShot *next_free = nullptr;
+
+      private:
+        EventQueue &owner_;
+    };
+
     struct Entry
     {
         Tick when;
@@ -154,10 +280,31 @@ class EventQueue
     /** Pop entries until a live one is found; nullptr when drained. */
     Event *popLive();
 
+    /** Take a node from the free list, growing the pool if empty. */
+    OneShot *acquireOneShot();
+
+    /** Park a fired node on the free list for reuse. */
+    void releaseOneShot(OneShot *ev);
+
     std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
     Tick cur_tick_ = 0;
     std::uint64_t next_stamp_ = 1;
     std::size_t num_scheduled_ = 0;
+
+    std::vector<std::unique_ptr<OneShot>> oneshot_nodes_; //!< ownership
+    OneShot *oneshot_free_ = nullptr; //!< intrusive free list head
+    std::size_t oneshot_free_count_ = 0;
 };
+
+/**
+ * Free-function form of EventQueue::scheduleOneShot, kept for the many
+ * component call sites.
+ */
+template <typename F>
+void
+scheduleOneShot(EventQueue &eq, Tick when, F &&fn)
+{
+    eq.scheduleOneShot(when, std::forward<F>(fn));
+}
 
 } // namespace fenceless::sim

@@ -12,8 +12,11 @@ using namespace isa;
 std::string
 uniqueLabel(const std::string &tag)
 {
-    static std::uint64_t counter = 0;
-    return "rt" + std::to_string(counter++) + "_" + tag;
+    static std::atomic<std::uint64_t> counter{0};
+    return "rt"
+           + std::to_string(
+                 counter.fetch_add(1, std::memory_order_relaxed))
+           + "_" + tag;
 }
 
 void
