@@ -16,6 +16,7 @@
 
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <memory>
@@ -202,6 +203,70 @@ inline void
 banner(const std::string &id, const std::string &title)
 {
     std::cout << "\n=== " << id << ": " << title << " ===\n\n";
+}
+
+/**
+ * Write the observability artefacts requested on the command line:
+ * `--trace-out=FILE` (Chrome trace-event JSON, load in
+ * ui.perfetto.dev) and `--stats-json=FILE` (full stat registry plus
+ * the snapshot time series).  No-op when neither option was passed.
+ * @return false if a requested file could not be opened
+ */
+inline bool
+writeObservability(const harness::System &sys,
+                   const harness::Options &opts)
+{
+    if (const std::string path = opts.traceOut(); !path.empty()) {
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "error: cannot open --trace-out file '"
+                      << path << "'\n";
+            return false;
+        }
+        sys.exportTrace(os);
+        std::cerr << "trace written to " << path
+                  << " (open in ui.perfetto.dev)\n";
+    }
+    if (const std::string path = opts.statsJson(); !path.empty()) {
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "error: cannot open --stats-json file '"
+                      << path << "'\n";
+            return false;
+        }
+        sys.writeStatsJson(os);
+        std::cerr << "stats written to " << path << "\n";
+    }
+    return true;
+}
+
+/**
+ * Mean of the named latency distribution averaged over every component
+ * group whose name starts with @p group_prefix (e.g. all "l1_*"
+ * caches), weighted by sample count.  Returns 0 with no samples.
+ * This is the request-lifetime attribution view: each phase of a miss
+ * (L1 miss to fill, directory queueing, directory service, network
+ * transit) owns one distribution, and the phase means decompose the
+ * end-to-end miss latency.
+ */
+inline double
+meanPhaseLatency(const harness::System &sys,
+                 const std::string &group_prefix,
+                 const std::string &dist_name)
+{
+    double weighted = 0;
+    std::uint64_t samples = 0;
+    for (const auto &group : sys.stats().groups()) {
+        if (group->name().rfind(group_prefix, 0) != 0)
+            continue;
+        const statistics::Distribution *d =
+            group->findDistribution(dist_name);
+        if (!d || d->samples() == 0)
+            continue;
+        weighted += d->mean() * static_cast<double>(d->samples());
+        samples += d->samples();
+    }
+    return samples ? weighted / static_cast<double>(samples) : 0.0;
 }
 
 } // namespace fenceless::bench

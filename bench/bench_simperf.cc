@@ -26,6 +26,7 @@
 #include "harness/sweep.hh"
 #include "harness/system.hh"
 #include "sim/eventq.hh"
+#include "sim/trace_sink.hh"
 #include "workload/microbench.hh"
 
 using namespace fenceless;
@@ -82,6 +83,64 @@ BM_FullSystem(benchmark::State &state)
                            benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullSystem)->Arg(0)->Arg(1);
+
+/**
+ * Cost of the structured-trace hot path, disabled (Arg(0): the mask
+ * test every instrumentation site pays even with tracing off) and
+ * enabled (Arg(1): the full record append).  The sink is cleared every
+ * batch so the run measures recording, not allocation growth.
+ */
+void
+BM_TraceSink(benchmark::State &state)
+{
+    const bool enabled = state.range(0) != 0;
+    trace::TraceSink sink;
+    if (enabled)
+        sink.setMask(static_cast<std::uint32_t>(trace::Flag::All));
+    const std::uint16_t comp = sink.registerComponent("bench");
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        for (Tick t = 0; t < 4096; ++t) {
+            if (sink.wants(trace::Flag::Core))
+                sink.record(comp, trace::EventKind::CoreCommit, t, t);
+            ++events;
+        }
+        benchmark::DoNotOptimize(sink.size());
+        if (sink.size() > trace::TraceSink::chunk_records)
+            sink.clear();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_TraceSink)->Arg(0)->Arg(1);
+
+/**
+ * Whole-system overhead of full tracing: the BM_FullSystem workload
+ * with every event family recorded.  Compare against
+ * BM_FullSystem/1 for the flags-on cost; BM_FullSystem itself keeps
+ * measuring the flags-off path (trace_mask == 0).
+ */
+void
+BM_FullSystemTraced(benchmark::State &state)
+{
+    std::uint64_t sim_insts = 0;
+    for (auto _ : state) {
+        harness::SystemConfig cfg;
+        cfg.num_cores = 4;
+        cfg.model = cpu::ConsistencyModel::TSO;
+        cfg.withSpeculation();
+        cfg.withTracing();
+        workload::SpinlockCrit wl;
+        isa::Program prog = wl.build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        const bool done = sys.run();
+        benchmark::DoNotOptimize(done);
+        sim_insts += sys.totalInstructions();
+        state.counters["trace_events"] =
+            static_cast<double>(sys.tracer().size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
+}
+BENCHMARK(BM_FullSystemTraced);
 
 void
 BM_ParallelSweep(benchmark::State &state)

@@ -5,10 +5,17 @@
  * speculation, and compare.
  *
  *   $ ./quickstart [--cores=N --model=sc|tso|rmo --scale=K --csv]
+ *
+ * Observability quick-look (see DESIGN.md section 7.2): add
+ * `--trace-out=run.json` for a Chrome trace-event timeline of the
+ * speculative run (open in ui.perfetto.dev) and/or
+ * `--stats-json=stats.json [--stats-interval=N]` for the machine-
+ * readable stat registry.
  */
 
 #include <iostream>
 
+#include "bench/bench_common.hh"
 #include "harness/options.hh"
 #include "harness/system.hh"
 #include "harness/table.hh"
@@ -56,6 +63,11 @@ main(int argc, char **argv)
             std::cerr << "postcondition failed: " << error << "\n";
             return 1;
         }
+
+        // 5. The speculative run is the interesting timeline: write
+        // any requested --trace-out / --stats-json artefacts from it.
+        if (speculative && !bench::writeObservability(sys, opts))
+            return 1;
 
         const double cycles =
             static_cast<double>(sys.runtimeCycles());

@@ -56,7 +56,12 @@ Distribution::sample(double v, std::uint64_t times)
     }
     count_ += times;
     sum_ += v * times;
-    sqsum_ += v * v * times;
+    // Weighted Welford update: numerically stable where the naive
+    // sqsum/n - mean^2 form loses all significant digits.
+    const double delta = v - mean_;
+    mean_ += delta * static_cast<double>(times)
+             / static_cast<double>(count_);
+    m2_ += static_cast<double>(times) * delta * (v - mean_);
 }
 
 double
@@ -64,8 +69,7 @@ Distribution::stdev() const
 {
     if (count_ < 2)
         return 0.0;
-    const double m = mean();
-    const double var = sqsum_ / count_ - m * m;
+    const double var = m2_ / static_cast<double>(count_);
     return var > 0.0 ? std::sqrt(var) : 0.0;
 }
 
@@ -91,6 +95,7 @@ Distribution::printCsv(std::ostream &os) const
     os << name() << ".mean," << mean() << "\n";
     os << name() << ".min," << minValue() << "\n";
     os << name() << ".max," << maxValue() << "\n";
+    os << name() << ".stdev," << stdev() << "\n";
     os << name() << ".n," << count_ << "\n";
 }
 
@@ -99,7 +104,8 @@ Distribution::reset()
 {
     count_ = 0;
     sum_ = 0.0;
-    sqsum_ = 0.0;
+    mean_ = 0.0;
+    m2_ = 0.0;
     min_ = 0.0;
     max_ = 0.0;
 }
@@ -154,9 +160,11 @@ void
 Histogram::printCsv(std::ostream &os) const
 {
     os << name() << ".n," << samples_ << "\n";
+    os << name() << ".underflow," << underflow_ << "\n";
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         os << name() << ".bucket" << i << "," << buckets_[i] << "\n";
     }
+    os << name() << ".overflow," << overflow_ << "\n";
 }
 
 void
@@ -231,6 +239,12 @@ StatGroup::scalarCount(const std::string &short_name) const
 {
     const auto *s = dynamic_cast<const Scalar *>(find(short_name));
     return s ? s->count() : 0;
+}
+
+const Distribution *
+StatGroup::findDistribution(const std::string &short_name) const
+{
+    return dynamic_cast<const Distribution *>(find(short_name));
 }
 
 void

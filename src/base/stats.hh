@@ -82,7 +82,14 @@ class Scalar : public Stat
     std::uint64_t value_ = 0;
 };
 
-/** Online mean / min / max / stddev over sampled values. */
+/**
+ * Online mean / min / max / stddev over sampled values.
+ *
+ * The variance uses Welford's online algorithm (weighted for repeated
+ * samples): the naive sqsum/n - mean^2 form cancels catastrophically
+ * for large-mean/small-variance data (e.g. tick-stamped latencies late
+ * in a long run) and can even go negative.
+ */
 class Distribution : public Stat
 {
   public:
@@ -92,7 +99,7 @@ class Distribution : public Stat
 
     std::uint64_t samples() const { return count_; }
     double total() const { return sum_; }
-    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
     double minValue() const { return count_ ? min_ : 0.0; }
     double maxValue() const { return count_ ? max_ : 0.0; }
     double stdev() const;
@@ -107,7 +114,8 @@ class Distribution : public Stat
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
-    double sqsum_ = 0.0;
+    double mean_ = 0.0; //!< Welford running mean
+    double m2_ = 0.0;   //!< Welford sum of squared deviations
     double min_ = 0.0;
     double max_ = 0.0;
 };
@@ -188,6 +196,10 @@ class StatGroup
 
     /** Look up a scalar's count by short name; 0 if absent. */
     std::uint64_t scalarCount(const std::string &short_name) const;
+
+    /** Look up a distribution by short name; nullptr if absent. */
+    const Distribution *
+    findDistribution(const std::string &short_name) const;
 
     const std::vector<std::unique_ptr<Stat>> &stats() const { return stats_; }
 

@@ -1,0 +1,129 @@
+#include "base/stats_json.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace fenceless::statistics
+{
+
+namespace
+{
+
+/** JSON has no NaN/Inf literals; clamp them to null. */
+void
+printJsonNumber(std::ostream &os, double v)
+{
+    if (!std::isfinite(v)) {
+        os << "null";
+        return;
+    }
+    if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+        os << static_cast<std::int64_t>(v);
+    } else {
+        std::ostringstream tmp;
+        tmp.precision(12);
+        tmp << v;
+        os << tmp.str();
+    }
+}
+
+} // namespace
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += "\"";
+    return out;
+}
+
+void
+printJson(std::ostream &os, const Stat &stat)
+{
+    if (const auto *d = dynamic_cast<const Distribution *>(&stat)) {
+        os << "{\"kind\": \"distribution\", \"n\": " << d->samples()
+           << ", \"mean\": ";
+        printJsonNumber(os, d->mean());
+        os << ", \"min\": ";
+        printJsonNumber(os, d->minValue());
+        os << ", \"max\": ";
+        printJsonNumber(os, d->maxValue());
+        os << ", \"stdev\": ";
+        printJsonNumber(os, d->stdev());
+        os << ", \"total\": ";
+        printJsonNumber(os, d->total());
+        os << "}";
+        return;
+    }
+    if (const auto *h = dynamic_cast<const Histogram *>(&stat)) {
+        os << "{\"kind\": \"histogram\", \"n\": " << h->samples()
+           << ", \"underflow\": " << h->underflow()
+           << ", \"overflow\": " << h->overflow() << ", \"buckets\": [";
+        for (unsigned i = 0; i < h->numBuckets(); ++i)
+            os << (i ? ", " : "") << h->bucketCount(i);
+        os << "]}";
+        return;
+    }
+    const char *kind =
+        dynamic_cast<const Formula *>(&stat) ? "formula" : "scalar";
+    os << "{\"kind\": \"" << kind << "\", \"value\": ";
+    printJsonNumber(os, stat.value());
+    os << "}";
+}
+
+void
+printJson(std::ostream &os, const StatGroup &group)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &s : group.stats()) {
+        os << (first ? "" : ", ") << "\n      "
+           << jsonQuote(s->name()) << ": ";
+        printJson(os, *s);
+        first = false;
+    }
+    os << "\n    }";
+}
+
+void
+printGroupsJson(std::ostream &os, const StatRegistry &registry)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &g : registry.groups()) {
+        os << (first ? "" : ",") << "\n    " << jsonQuote(g->name())
+           << ": ";
+        printJson(os, *g);
+        first = false;
+    }
+    os << "\n  }";
+}
+
+void
+printJson(std::ostream &os, const StatRegistry &registry)
+{
+    os << "{\n  \"groups\": ";
+    printGroupsJson(os, registry);
+    os << "\n}\n";
+}
+
+} // namespace fenceless::statistics

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Machine-readable JSON rendering of the statistics registry.
+ *
+ * `--stats-json=<file>` dumps the full StatRegistry -- every group,
+ * every stat kind with its complete state (distributions with
+ * n/mean/min/max/stdev, histograms with bucket counts and edges) -- so
+ * the bench harness and CI can diff runs without scraping text tables.
+ *
+ * Shape:
+ *
+ *     {
+ *       "groups": {
+ *         "l1_0": {
+ *           "l1_0.misses": {"kind": "scalar", "value": 42},
+ *           "l1_0.miss_latency": {"kind": "distribution", "n": 42,
+ *             "mean": 103.5, "min": 88, "max": 240, "stdev": 12.1},
+ *           ...
+ *         },
+ *         ...
+ *       }
+ *     }
+ */
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "base/stats.hh"
+
+namespace fenceless::statistics
+{
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string jsonQuote(const std::string &s);
+
+/** Render one stat (any kind) as a JSON object. */
+void printJson(std::ostream &os, const Stat &stat);
+
+/** Render a whole group as a JSON object keyed by stat name. */
+void printJson(std::ostream &os, const StatGroup &group);
+
+/**
+ * Render the registry as the `"groups"` object described above.
+ * Emits only the object, so callers can compose it into a larger
+ * document (e.g. append snapshot time series).
+ */
+void printGroupsJson(std::ostream &os, const StatRegistry &registry);
+
+/** Render the registry as a complete `{"groups": ...}` document. */
+void printJson(std::ostream &os, const StatRegistry &registry);
+
+} // namespace fenceless::statistics

@@ -31,6 +31,16 @@ out()
 
 } // namespace
 
+namespace
+{
+
+constexpr Flag all_flags[] = {
+    Flag::Core, Flag::SB, Flag::L1, Flag::Dir, Flag::Net, Flag::Spec,
+    Flag::Req, Flag::Stall, Flag::All,
+};
+
+} // namespace
+
 const char *
 flagName(Flag f)
 {
@@ -41,33 +51,51 @@ flagName(Flag f)
       case Flag::Dir: return "dir";
       case Flag::Net: return "net";
       case Flag::Spec: return "spec";
+      case Flag::Req: return "req";
+      case Flag::Stall: return "stall";
       case Flag::All: return "all";
     }
     return "?";
 }
 
-std::uint32_t
-parseFlags(const std::string &spec)
+std::string
+validFlagNames()
 {
-    std::uint32_t mask = 0;
+    std::string names;
+    for (Flag f : all_flags) {
+        if (!names.empty())
+            names += ",";
+        names += flagName(f);
+    }
+    return names;
+}
+
+bool
+parseFlags(const std::string &spec, std::uint32_t &mask,
+           std::string &error)
+{
+    std::uint32_t parsed = 0;
     std::string token;
     std::istringstream is(spec);
     while (std::getline(is, token, ',')) {
         if (token.empty())
             continue;
         bool found = false;
-        for (Flag f : {Flag::Core, Flag::SB, Flag::L1, Flag::Dir,
-                       Flag::Net, Flag::Spec, Flag::All}) {
+        for (Flag f : all_flags) {
             if (token == flagName(f)) {
-                mask |= static_cast<std::uint32_t>(f);
+                parsed |= static_cast<std::uint32_t>(f);
                 found = true;
                 break;
             }
         }
-        if (!found)
-            fatal("unknown trace flag '", token, "'");
+        if (!found) {
+            error = "unknown trace flag '" + token + "' (valid: " +
+                    validFlagNames() + ")";
+            return false;
+        }
     }
-    return mask;
+    mask = parsed;
+    return true;
 }
 
 void
@@ -91,8 +119,14 @@ setStream(std::ostream *os)
 void
 initFromEnv()
 {
-    if (const char *env = std::getenv("FENCELESS_TRACE"))
-        setEnabled(parseFlags(env));
+    if (const char *env = std::getenv("FENCELESS_TRACE")) {
+        std::uint32_t mask = 0;
+        std::string error;
+        if (parseFlags(env, mask, error))
+            setEnabled(mask);
+        else
+            warn("FENCELESS_TRACE ignored: ", error);
+    }
 }
 
 namespace detail

@@ -26,20 +26,30 @@ namespace fenceless::trace
 
 enum class Flag : std::uint32_t
 {
-    Core = 1u << 0,
-    SB   = 1u << 1,
-    L1   = 1u << 2,
-    Dir  = 1u << 3,
-    Net  = 1u << 4,
-    Spec = 1u << 5,
-    All  = ~0u,
+    Core  = 1u << 0,
+    SB    = 1u << 1,
+    L1    = 1u << 2,
+    Dir   = 1u << 3,
+    Net   = 1u << 4,
+    Spec  = 1u << 5,
+    Req   = 1u << 6, //!< request-lifetime flow events (miss attribution)
+    Stall = 1u << 7, //!< core stall-interval duration events
+    All   = ~0u,
 };
 
 /** @return the canonical lower-case name of a single flag. */
 const char *flagName(Flag f);
 
-/** Parse "core,l1,spec" / "all" into a mask; unknown names are fatal. */
-std::uint32_t parseFlags(const std::string &spec);
+/** Comma-separated list of every valid flag name (for error messages). */
+std::string validFlagNames();
+
+/**
+ * Parse "core,l1,spec" / "all" into @p mask.
+ * @return true on success; on failure @p error describes the unknown
+ *         name and lists the valid flags, and @p mask is untouched.
+ */
+bool parseFlags(const std::string &spec, std::uint32_t &mask,
+                std::string &error);
 
 /** Enable the given flags (bitwise or of Flag values). */
 void setEnabled(std::uint32_t mask);
@@ -57,7 +67,11 @@ isEnabled(Flag f)
 /** Redirect trace output (default std::cout); nullptr restores it. */
 void setStream(std::ostream *os);
 
-/** Initialise from the FENCELESS_TRACE environment variable. */
+/**
+ * Initialise from the FENCELESS_TRACE environment variable.  A typo in
+ * the variable must not kill a whole sweep, so unknown names only warn
+ * (listing the valid flags) and leave the mask unchanged.
+ */
 void initFromEnv();
 
 namespace detail

@@ -103,6 +103,14 @@ SpecController::SpecController(sim::SimContext &ctx,
                     static_cast<RollbackCause>(i))));
     }
 
+    std::vector<std::string> cause_names;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(RollbackCause::NumCauses); ++i)
+        cause_names.push_back(
+            rollbackCauseName(static_cast<RollbackCause>(i)));
+    tracer().setAuxNames(trace::EventKind::SpecRollback,
+                         std::move(cause_names));
+
     core_.setSpec(this);
     l1_.setSpecHooks(this);
     core_.storeBuffer().setDrainListener([this] {
@@ -153,6 +161,7 @@ SpecController::beginEpoch()
 {
     flAssert(!in_spec_, name(), ": nested epoch");
     in_spec_ = true;
+    epoch_start_tick_ = curTick();
     ckpt_ = core_.snapshot();
     ckpt_seq_ = core_.storeBuffer().lastSeq();
     watermark_ = ckpt_seq_;
@@ -281,6 +290,8 @@ SpecController::doCommit()
     FL_TRACE(trace::Flag::Spec, *this, "epoch ", epoch_, " commits (",
              epochInsts(), " insts, ", l1_.numSpecWrittenBlocks(),
              " SW blocks)");
+    FL_TEVENT(*this, trace::EventKind::SpecEpoch, epoch_start_tick_,
+              epochInsts(), 1 /* outcome: commit */);
     l1_.commitQueuedSpecRequests(epoch_);
     l1_.commitSpecWrites();
     core_.storeBuffer().commitSpec();
@@ -365,6 +376,11 @@ SpecController::rollback(RollbackCause cause)
     stat_epoch_stores_.sample(static_cast<double>(epoch_stores_));
     stat_max_sw_.maxOf(l1_.numSpecWrittenBlocks());
     stat_max_sr_.maxOf(l1_.numSpecReadBlocks());
+
+    FL_TEVENT(*this, trace::EventKind::SpecEpoch, epoch_start_tick_,
+              epochInsts(), 0 /* outcome: rollback */);
+    FL_TEVENT(*this, trace::EventKind::SpecRollback, 0, epochInsts(),
+              static_cast<std::uint32_t>(cause));
 
     // Discard the speculative cache state (SW blocks become MStale; the
     // inclusive L2 holds every pre-speculation value), drop speculative

@@ -161,6 +161,7 @@ class SpecController : public sim::SimObject,
     mem::L1Cache &l1_;
 
     bool in_spec_ = false;
+    Tick epoch_start_tick_ = 0; //!< when the current epoch began
     std::uint32_t epoch_ = 1; //!< 0 is reserved as "never speculative"
     std::uint64_t watermark_ = 0; //!< SB seq the commit must wait for
     cpu::Core::ArchSnapshot ckpt_{};

@@ -101,6 +101,13 @@ Core::Core(sim::SimContext &ctx, const std::string &name,
                                                    / cycles
                                              : 0.0;
                            });
+
+    std::vector<std::string> stall_names;
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(StallReason::NumReasons); ++i)
+        stall_names.push_back(stallReasonName(static_cast<StallReason>(i)));
+    tracer().setAuxNames(trace::EventKind::CoreStall,
+                         std::move(stall_names));
 }
 
 Core::~Core()
@@ -140,6 +147,7 @@ Core::advance(std::uint64_t next_pc, Cycles delay)
     pc_ = next_pc;
     ++instret_;
     ++stat_instructions_;
+    FL_TEVENT(*this, trace::EventKind::CoreCommit, instret_);
     scheduleTick(delay);
 }
 
@@ -147,6 +155,8 @@ void
 Core::accountStall(StallReason reason, Tick begin)
 {
     *stat_stalls_[static_cast<std::size_t>(reason)] += curTick() - begin;
+    FL_TEVENT(*this, trace::EventKind::CoreStall, begin, 0,
+              static_cast<std::uint32_t>(reason));
 }
 
 std::function<void()>

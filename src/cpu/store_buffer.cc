@@ -12,6 +12,7 @@ StoreBuffer::StoreBuffer(sim::SimContext &ctx,
                          statistics::StatGroup &stats,
                          const Params &params, mem::L1Cache &l1)
     : ctx_(ctx), params_(params), l1_(l1),
+      trace_id_(ctx.tracer.registerComponent(stats.name() + ".sb")),
       stat_pushed_(stats.addScalar("sb_pushed", "stores retired into "
                                    "the store buffer")),
       stat_drained_(stats.addScalar("sb_drained", "stores written to "
@@ -28,6 +29,12 @@ StoreBuffer::StoreBuffer(sim::SimContext &ctx,
           "buffer occupancy sampled at each push"))
 {
     flAssert(params_.size > 0, "store buffer needs at least one entry");
+}
+
+void
+StoreBuffer::recordOccupancy()
+{
+    FL_TEVENT(*this, trace::EventKind::SbOccupancy, entries_.size());
 }
 
 bool
@@ -66,6 +73,7 @@ StoreBuffer::push(Addr addr, std::uint8_t size, std::uint64_t data,
     entries_.push_back(e);
     ++stat_pushed_;
     stat_occupancy_.sample(static_cast<double>(entries_.size()));
+    recordOccupancy();
     issueNext();
     return e.seq;
 }
@@ -228,6 +236,7 @@ StoreBuffer::complete(std::uint64_t seq)
     if (it != entries_.end()) {
         entries_.erase(it);
         ++stat_drained_;
+        recordOccupancy();
     }
     if (entries_.empty())
         barrier_group_ = 0;
@@ -329,6 +338,8 @@ StoreBuffer::discardAfter(std::uint64_t keep_up_to)
         }
     }
     stat_discarded_ += removed;
+    if (removed)
+        recordOccupancy();
     if (entries_.empty())
         barrier_group_ = 0;
 }

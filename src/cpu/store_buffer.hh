@@ -162,6 +162,13 @@ class StoreBuffer
     void fireWaiters();
     Entry *pickEligible();
 
+    // FL_TEVENT interface (the buffer is not a SimObject; it records
+    // on its own timeline track registered at construction).
+    trace::TraceSink &tracer() { return ctx_.tracer; }
+    std::uint16_t traceId() const { return trace_id_; }
+    Tick curTick() const { return ctx_.curTick(); }
+    void recordOccupancy();
+
     static bool
     overlaps(Addr a1, unsigned s1, Addr a2, unsigned s2)
     {
@@ -171,6 +178,7 @@ class StoreBuffer
     sim::SimContext &ctx_;
     Params params_;
     mem::L1Cache &l1_;
+    std::uint16_t trace_id_;
 
     std::deque<Entry> entries_;
     std::uint64_t next_seq_ = 1;

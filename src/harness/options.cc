@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "base/logging.hh"
+#include "base/trace.hh"
 
 namespace fenceless::harness
 {
@@ -14,7 +15,8 @@ namespace
 const char *known_options[] = {
     "cores", "model", "spec", "granularity", "overflow", "sb-size",
     "l1-kb", "l2-kb", "dram-latency", "net-latency", "scale", "seed",
-    "jobs", "csv", "help",
+    "jobs", "csv", "trace", "trace-out", "stats-json", "stats-interval",
+    "help",
 };
 
 bool
@@ -128,6 +130,20 @@ Options::applyTo(SystemConfig base) const
         base.l2.dram_latency = getInt("dram-latency", 0);
     if (has("net-latency"))
         base.net.latency = getInt("net-latency", 0);
+    if (has("trace")) {
+        std::uint32_t mask = 0;
+        std::string error;
+        if (!trace::parseFlags(get("trace"), mask, error))
+            fatal("--trace: ", error);
+        base.trace_mask = mask;
+    } else if (has("trace-out")) {
+        // An output file without an explicit flag set means "record
+        // everything": the common quick-look invocation.
+        base.trace_mask =
+            static_cast<std::uint32_t>(trace::Flag::All);
+    }
+    if (has("stats-interval"))
+        base.stats_interval = getInt("stats-interval", 0);
     return base;
 }
 
@@ -152,6 +168,13 @@ Options::printUsage(const std::string &prog)
            "                        (default: hardware concurrency;\n"
            "                        1 = sequential; output identical)\n"
         << "  --csv                 machine-readable tables\n"
+        << "  --trace=f1,f2         structured-trace flags ("
+        << trace::validFlagNames() << ")\n"
+        << "  --trace-out=FILE      write Chrome trace-event JSON\n"
+           "                        (implies --trace=all if no --trace)\n"
+        << "  --stats-json=FILE     write the stat registry as JSON\n"
+        << "  --stats-interval=N    snapshot stats every N cycles into\n"
+           "                        the --stats-json time series\n"
         << "  --help                this message\n";
 }
 

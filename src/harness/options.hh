@@ -25,6 +25,11 @@
  *                          (0/default = hardware concurrency,
  *                          1 = sequential legacy path)
  *     --csv                machine-readable table output
+ *     --trace=f1,f2        structured-trace flags (see trace.hh)
+ *     --trace-out=FILE     Chrome trace-event / Perfetto JSON output
+ *                          (implies --trace=all when --trace is absent)
+ *     --stats-json=FILE    full stat registry as JSON
+ *     --stats-interval=N   periodic stat snapshots every N cycles
  *     --help               print usage and exit
  */
 
@@ -62,6 +67,12 @@ class Options
      * every value -- see harness/sweep.hh.
      */
     unsigned jobs() const { return jobs_; }
+
+    /** Path for --trace-out ("" = no trace export requested). */
+    std::string traceOut() const { return get("trace-out"); }
+
+    /** Path for --stats-json ("" = no JSON stats requested). */
+    std::string statsJson() const { return get("stats-json"); }
 
     /** @return true if the user passed the given option. */
     bool has(const std::string &name) const

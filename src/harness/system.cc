@@ -1,6 +1,9 @@
 #include "harness/system.hh"
 
+#include <sstream>
+
 #include "base/logging.hh"
+#include "base/stats_json.hh"
 #include "base/trace.hh"
 #include "isa/interp.hh"
 
@@ -21,6 +24,10 @@ System::System(const SystemConfig &config, const isa::Program &prog)
              "at most ", mem::max_cores, " cores supported");
     flAssert(config_.l1.block_size == config_.l2.block_size,
              "L1 and L2 block sizes must match");
+
+    // Per-system sink: host-parallel sweeps each get their own, so
+    // recording needs no synchronisation.
+    ctx_.tracer.setMask(config_.trace_mask);
 
     isa::loadImage(prog_, backing_);
 
@@ -62,6 +69,8 @@ System::run()
 {
     for (auto &core : cores_)
         core->reset();
+    if (config_.stats_interval > 0)
+        scheduleSnapshot();
     ctx_.eventq.run(config_.max_cycles);
     if (halted_ != config_.num_cores)
         return false;
@@ -69,6 +78,42 @@ System::run()
     // postcondition checks see a quiesced system.
     ctx_.eventq.run(max_tick);
     return true;
+}
+
+void
+System::scheduleSnapshot()
+{
+    // Stops rescheduling once every core halts, so the post-halt
+    // quiesce run (which runs to max_tick) still drains the queue.
+    sim::scheduleOneShot(
+        ctx_.eventq, ctx_.curTick() + config_.stats_interval, [this] {
+            takeSnapshot();
+            if (halted_ < config_.num_cores)
+                scheduleSnapshot();
+        });
+}
+
+void
+System::takeSnapshot()
+{
+    std::ostringstream os;
+    statistics::printGroupsJson(os, ctx_.stats);
+    snapshots_.push_back(StatSnapshot{ctx_.curTick(), os.str()});
+}
+
+void
+System::writeStatsJson(std::ostream &os) const
+{
+    os << "{\n  \"groups\": ";
+    statistics::printGroupsJson(os, ctx_.stats);
+    os << ",\n  \"snapshots\": [";
+    bool first = true;
+    for (const auto &snap : snapshots_) {
+        os << (first ? "" : ",") << "\n    {\"tick\": " << snap.tick
+           << ", \"groups\": " << snap.groups_json << "}";
+        first = false;
+    }
+    os << "\n  ]\n}\n";
 }
 
 Tick

@@ -38,6 +38,20 @@ struct SystemConfig
     mem::Network::Params net;
     std::uint64_t max_cycles = 500'000'000;
 
+    /**
+     * Structured-trace flag mask (trace::Flag values).  0 (default)
+     * disables recording entirely; instrumentation then costs one
+     * inline mask test per site.
+     */
+    std::uint32_t trace_mask = 0;
+
+    /**
+     * Periodic stat-snapshot interval in cycles (0 = off).  Each
+     * snapshot renders the full registry as JSON; the time series is
+     * embedded in writeStatsJson() output.
+     */
+    Tick stats_interval = 0;
+
     /** Convenience: enable on-demand block-granularity speculation. */
     SystemConfig &
     withSpeculation(spec::SpecMode mode = spec::SpecMode::OnDemand)
@@ -45,11 +59,27 @@ struct SystemConfig
         spec.mode = mode;
         return *this;
     }
+
+    /** Convenience: enable structured tracing for the given flags. */
+    SystemConfig &
+    withTracing(std::uint32_t mask =
+                    static_cast<std::uint32_t>(trace::Flag::All))
+    {
+        trace_mask = mask;
+        return *this;
+    }
 };
 
 class System
 {
   public:
+    /** One periodic stat snapshot (pre-rendered groups JSON). */
+    struct StatSnapshot
+    {
+        Tick tick;
+        std::string groups_json;
+    };
+
     System(const SystemConfig &config, const isa::Program &prog);
 
     /**
@@ -93,6 +123,32 @@ class System
     const statistics::StatRegistry &stats() const { return ctx_.stats; }
     sim::SimContext &context() { return ctx_; }
 
+    // --- observability ---------------------------------------------------
+
+    trace::TraceSink &tracer() { return ctx_.tracer; }
+    const trace::TraceSink &tracer() const { return ctx_.tracer; }
+
+    const std::vector<StatSnapshot> &snapshots() const
+    {
+        return snapshots_;
+    }
+
+    /**
+     * Write the recorded structured trace as Chrome trace-event JSON
+     * (open in ui.perfetto.dev or chrome://tracing).
+     */
+    void exportTrace(std::ostream &os) const
+    {
+        ctx_.tracer.exportChromeJson(os);
+    }
+
+    /**
+     * Write the full stat registry -- and the periodic snapshot time
+     * series, if `stats_interval` was set -- as one JSON document:
+     * `{"groups": {...}, "snapshots": [{"tick": N, "groups": ...}]}`.
+     */
+    void writeStatsJson(std::ostream &os) const;
+
     std::uint64_t totalInstructions() const;
 
     /** Aggregate counters handy for benches (summed over cores). */
@@ -112,10 +168,14 @@ class System
     const SystemConfig &config() const { return config_; }
 
   private:
+    void scheduleSnapshot();
+    void takeSnapshot();
+
     SystemConfig config_;
     isa::Program prog_;
     sim::SimContext ctx_;
     FlatMemory backing_;
+    std::vector<StatSnapshot> snapshots_;
 
     std::unique_ptr<mem::Network> network_;
     std::unique_ptr<mem::Directory> dir_;

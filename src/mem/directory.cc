@@ -29,7 +29,12 @@ Directory::Directory(sim::SimContext &ctx, const std::string &name,
       stat_dram_reads_(statGroup().addScalar("dram_reads",
                                              "DRAM block reads")),
       stat_dram_writes_(statGroup().addScalar("dram_writes",
-                                              "DRAM block writebacks"))
+                                              "DRAM block writebacks")),
+      stat_txn_queue_wait_(statGroup().addDistribution("txn_queue_wait",
+          "cycles a request waited behind an active same-block "
+          "transaction")),
+      stat_txn_service_(statGroup().addDistribution("txn_service",
+          "cycles from transaction start to completion"))
 {
     flAssert(num_cores <= max_cores, "directory supports at most ",
              max_cores, " cores");
@@ -67,19 +72,24 @@ Directory::dispatch(const Msg &msg)
     FL_TRACE(trace::Flag::Dir, *this, "dispatch ", msg.toString(),
              (active_.count(msg.block_addr) ? " (queued)" : ""));
     if (active_.count(msg.block_addr)) {
-        pending_[msg.block_addr].push_back(msg);
+        pending_[msg.block_addr].push_back(QueuedReq{curTick(), msg});
         ++total_pending_;
         return;
     }
-    startTxn(msg);
+    startTxn(msg, curTick());
 }
 
 void
-Directory::startTxn(const Msg &msg)
+Directory::startTxn(const Msg &msg, Tick recv_tick)
 {
+    stat_txn_queue_wait_.sample(
+        static_cast<double>(curTick() - recv_tick));
+    FL_TEVENT(*this, trace::EventKind::ReqDirIngress, msg.req_id,
+              static_cast<std::uint64_t>(msg.type));
     Txn &txn = active_[msg.block_addr];
     txn.req = msg;
     txn.phase = Txn::Phase::Start;
+    txn.start_tick = curTick();
     // Model the directory/tag access latency before processing.
     sim::scheduleOneShot(eventq(), curTick() + params_.latency,
                          [this, addr = msg.block_addr] {
@@ -135,17 +145,26 @@ Directory::processRequest(Addr block_addr)
 void
 Directory::complete(Addr block_addr)
 {
-    active_.erase(block_addr);
+    auto active_it = active_.find(block_addr);
+    flAssert(active_it != active_.end(),
+             name(), ": complete with no active transaction");
+    const Txn &txn = active_it->second;
+    stat_txn_service_.sample(
+        static_cast<double>(curTick() - txn.start_tick));
+    FL_TEVENT(*this, trace::EventKind::ReqDirDone, txn.req.req_id,
+              txn.dram_reads);
+    active_.erase(active_it);
+
     auto it = pending_.find(block_addr);
     if (it == pending_.end())
         return;
     flAssert(!it->second.empty(), "empty pending queue left behind");
-    Msg next = it->second.front();
+    QueuedReq next = it->second.front();
     it->second.pop_front();
     --total_pending_;
     if (it->second.empty())
         pending_.erase(it);
-    startTxn(next);
+    startTxn(next.msg, next.recv_tick);
 }
 
 // ---------------------------------------------------------------------
@@ -166,16 +185,16 @@ Directory::processGetS(Txn &txn, L2Block &blk)
     if (blk.owner == requestor) {
         // Owner re-requesting (defensive: MStale refetch normally uses
         // GetM).  Grant M so ownership bookkeeping stays unchanged.
-        sendData(MsgType::DataM, requestor, blk);
+        sendData(MsgType::DataM, requestor, blk, txn.req.req_id);
         complete(blk.block_addr);
         return;
     }
     if (!blk.hasSharers()) {
         blk.owner = requestor;
-        sendData(MsgType::DataE, requestor, blk);
+        sendData(MsgType::DataE, requestor, blk, txn.req.req_id);
     } else {
         blk.addSharer(requestor);
-        sendData(MsgType::DataS, requestor, blk);
+        sendData(MsgType::DataS, requestor, blk, txn.req.req_id);
     }
     complete(blk.block_addr);
 }
@@ -188,7 +207,7 @@ Directory::processGetM(Txn &txn, L2Block &blk)
     if (blk.owner == requestor) {
         // MStale refetch: the L1 lost its data to a rollback but remains
         // owner; the L2 copy is the pre-speculation value.
-        sendData(MsgType::DataM, requestor, blk);
+        sendData(MsgType::DataM, requestor, blk, txn.req.req_id);
         complete(blk.block_addr);
         return;
     }
@@ -203,7 +222,7 @@ Directory::processGetM(Txn &txn, L2Block &blk)
     if (!blk.hasSharers()) {
         blk.owner = requestor;
         blk.sharers = 0;
-        sendData(MsgType::DataM, requestor, blk);
+        sendData(MsgType::DataM, requestor, blk, txn.req.req_id);
         complete(blk.block_addr);
         return;
     }
@@ -306,7 +325,7 @@ Directory::handleAck(const Msg &msg)
         // GetM: all sharers gone; grant M.
         blk->owner = txn.req.src;
         blk->sharers = 0;
-        sendData(MsgType::DataM, txn.req.src, *blk);
+        sendData(MsgType::DataM, txn.req.src, *blk, txn.req.req_id);
         complete(msg.block_addr);
         return;
     }
@@ -338,15 +357,17 @@ Directory::handleAck(const Msg &msg)
             blk->addSharer(old_owner); // downgraded owner keeps a copy
         if (!blk->hasSharers()) {
             blk->owner = txn.req.src;
-            sendData(MsgType::DataE, txn.req.src, *blk);
+            sendData(MsgType::DataE, txn.req.src, *blk,
+                     txn.req.req_id);
         } else {
             blk->addSharer(txn.req.src);
-            sendData(MsgType::DataS, txn.req.src, *blk);
+            sendData(MsgType::DataS, txn.req.src, *blk,
+                     txn.req.req_id);
         }
     } else { // GetM
         blk->owner = txn.req.src;
         blk->sharers = 0;
-        sendData(MsgType::DataM, txn.req.src, *blk);
+        sendData(MsgType::DataM, txn.req.src, *blk, txn.req.req_id);
     }
     complete(msg.block_addr);
 }
@@ -393,6 +414,7 @@ Directory::ensurePresent(Txn &txn, Addr block_addr)
     // Fetch the block from DRAM.
     txn.phase = Txn::Phase::Dram;
     ++stat_dram_reads_;
+    ++txn.dram_reads;
     const Tick ready = std::max(curTick(), dram_next_free_)
                        + params_.dram_latency;
     dram_next_free_ = std::max(curTick(), dram_next_free_)
@@ -423,6 +445,7 @@ Directory::startRecall(Addr victim_addr, const Msg &blocked_req)
              name(), ": recalling a busy block");
     Txn &txn = active_[victim_addr];
     txn.is_recall = true;
+    txn.start_tick = curTick();
     txn.resume = blocked_req;
     txn.req = Msg{}; // synthetic
     txn.req.type = MsgType::GetM;
@@ -490,22 +513,25 @@ Directory::dramWriteback(L2Block &blk)
 
 void
 Directory::sendToL1(MsgType type, NodeId dst, Addr block_addr,
-                    const std::vector<std::uint8_t> *data)
+                    const std::vector<std::uint8_t> *data,
+                    std::uint64_t req_id)
 {
     Msg msg;
     msg.type = type;
     msg.src = node_id_;
     msg.dst = dst;
     msg.block_addr = block_addr;
+    msg.req_id = req_id;
     if (data)
         msg.data = *data;
     network_.send(std::move(msg));
 }
 
 void
-Directory::sendData(MsgType type, NodeId dst, const L2Block &blk)
+Directory::sendData(MsgType type, NodeId dst, const L2Block &blk,
+                    std::uint64_t req_id)
 {
-    sendToL1(type, dst, blk.block_addr, &blk.data);
+    sendToL1(type, dst, blk.block_addr, &blk.data, req_id);
 }
 
 std::uint64_t

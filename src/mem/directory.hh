@@ -104,11 +104,20 @@ class Directory : public sim::SimObject, public MsgReceiver
         unsigned pending_acks = 0;
         bool is_recall = false;    //!< internal L2-eviction transaction
         std::optional<Msg> resume; //!< request to re-dispatch afterwards
+        Tick start_tick = 0;       //!< when the txn left the queue
+        unsigned dram_reads = 0;   //!< DRAM fills charged to this txn
+    };
+
+    /** A request parked behind an active same-block transaction. */
+    struct QueuedReq
+    {
+        Tick recv_tick;
+        Msg msg;
     };
 
     // dispatch / queueing
     void dispatch(const Msg &msg);
-    void startTxn(const Msg &msg);
+    void startTxn(const Msg &msg, Tick recv_tick);
     void processRequest(Addr block_addr);
     void complete(Addr block_addr);
 
@@ -127,8 +136,10 @@ class Directory : public sim::SimObject, public MsgReceiver
     void handleWbClean(const Msg &msg);
 
     void sendToL1(MsgType type, NodeId dst, Addr block_addr,
-                  const std::vector<std::uint8_t> *data = nullptr);
-    void sendData(MsgType type, NodeId dst, const L2Block &blk);
+                  const std::vector<std::uint8_t> *data = nullptr,
+                  std::uint64_t req_id = 0);
+    void sendData(MsgType type, NodeId dst, const L2Block &blk,
+                  std::uint64_t req_id = 0);
 
     void dramWriteback(L2Block &blk);
 
@@ -140,7 +151,7 @@ class Directory : public sim::SimObject, public MsgReceiver
 
     CacheArray<L2Block> array_;
     std::map<Addr, Txn> active_;
-    std::map<Addr, std::deque<Msg>> pending_;
+    std::map<Addr, std::deque<QueuedReq>> pending_;
     std::size_t total_pending_ = 0;
     Tick dram_next_free_ = 0;
 
@@ -153,6 +164,8 @@ class Directory : public sim::SimObject, public MsgReceiver
     statistics::Scalar &stat_recalls_;
     statistics::Scalar &stat_dram_reads_;
     statistics::Scalar &stat_dram_writes_;
+    statistics::Distribution &stat_txn_queue_wait_;
+    statistics::Distribution &stat_txn_service_;
 };
 
 } // namespace fenceless::mem

@@ -52,7 +52,11 @@ L1Cache::L1Cache(sim::SimContext &ctx, const std::string &name,
       stat_fill_retries_(statGroup().addScalar("fill_retries",
           "buffered fills discarded by a probe and re-requested")),
       stat_prefetches_(statGroup().addScalar("prefetches",
-          "exclusive-ownership prefetches from the store buffer"))
+          "exclusive-ownership prefetches from the store buffer")),
+      stat_miss_latency_(statGroup().addDistribution("miss_latency",
+          "cycles from miss issue to fill install")),
+      stat_miss_fill_wait_(statGroup().addDistribution("miss_fill_wait",
+          "cycles a buffered fill waited for an evictable way"))
 {
     network_.registerEndpoint(node_id_, this);
 }
@@ -237,8 +241,13 @@ L1Cache::handleMiss(MemRequest req, bool want_m)
     Mshr &mshr = mshrs_[block_addr];
     mshr.block_addr = block_addr;
     mshr.want_m = want_m;
+    mshr.miss_start = curTick();
+    mshr.req_id = tracer().nextRequestId();
     mshr.waiting.push_back(std::move(req));
-    sendToDir(want_m ? MsgType::GetM : MsgType::GetS, block_addr);
+    FL_TEVENT(*this, trace::EventKind::ReqIssue, mshr.req_id,
+              block_addr);
+    sendToDir(want_m ? MsgType::GetM : MsgType::GetS, block_addr,
+              nullptr, mshr.req_id);
 }
 
 bool
@@ -351,6 +360,7 @@ L1Cache::handleData(const Msg &msg)
     flAssert(!mshr.fill_pending, name(), ": duplicate fill");
     mshr.fill = msg;
     mshr.fill_pending = true;
+    mshr.fill_arrival = curTick();
     tryCompleteFill(mshr);
 }
 
@@ -437,6 +447,13 @@ L1Cache::tryCompleteFill(Mshr &mshr)
         panic(name(), ": bad fill message ", msgTypeName(msg.type));
     }
     array_.touch(*blk);
+
+    stat_miss_latency_.sample(
+        static_cast<double>(curTick() - mshr.miss_start));
+    stat_miss_fill_wait_.sample(
+        static_cast<double>(curTick() - mshr.fill_arrival));
+    FL_TEVENT(*this, trace::EventKind::ReqFill, mshr.req_id,
+              mshr.block_addr);
 
     // Retire the MSHR, then replay the queued requests in order.  A
     // replayed write may re-miss for an upgrade and allocate a fresh
@@ -605,7 +622,7 @@ L1Cache::handleInv(const Msg &msg)
         sendToDir(MsgType::InvAck, msg.block_addr);
         // Re-request; the waiting accesses stay queued.
         sendToDir(mshr.want_m ? MsgType::GetM : MsgType::GetS,
-                  msg.block_addr);
+                  msg.block_addr, nullptr, mshr.req_id);
         return;
     }
 
@@ -664,7 +681,7 @@ L1Cache::handleFwd(const Msg &msg)
         mshr.fill_pending = false;
         mshr.fill_blocked = false;
         sendToDir(mshr.want_m ? MsgType::GetM : MsgType::GetS,
-                  msg.block_addr);
+                  msg.block_addr, nullptr, mshr.req_id);
         return;
     }
 
@@ -719,13 +736,15 @@ L1Cache::handlePutAck(const Msg &msg)
 
 void
 L1Cache::sendToDir(MsgType type, Addr block_addr,
-                   const std::vector<std::uint8_t> *data)
+                   const std::vector<std::uint8_t> *data,
+                   std::uint64_t req_id)
 {
     Msg msg;
     msg.type = type;
     msg.src = node_id_;
     msg.dst = dir_node_;
     msg.block_addr = block_addr;
+    msg.req_id = req_id;
     if (data)
         msg.data = *data;
     network_.send(std::move(msg));

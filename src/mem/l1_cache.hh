@@ -202,6 +202,9 @@ class L1Cache : public sim::SimObject, public MsgReceiver
         bool fill_pending = false;   //!< fill buffered, no way available
         bool fill_blocked = false; //!< fill parked: no evictable way
         Msg fill;
+        std::uint64_t req_id = 0;    //!< request-lifetime trace id
+        Tick miss_start = 0;         //!< tick the miss was issued
+        Tick fill_arrival = 0;       //!< tick the fill data arrived
     };
 
     // request path
@@ -234,7 +237,8 @@ class L1Cache : public sim::SimObject, public MsgReceiver
 
     // messaging
     void sendToDir(MsgType type, Addr block_addr,
-                   const std::vector<std::uint8_t> *data = nullptr);
+                   const std::vector<std::uint8_t> *data = nullptr,
+                   std::uint64_t req_id = 0);
 
     Params params_;
     CoreId core_id_;
@@ -263,6 +267,8 @@ class L1Cache : public sim::SimObject, public MsgReceiver
     statistics::Scalar &stat_overflow_waits_;
     statistics::Scalar &stat_fill_retries_;
     statistics::Scalar &stat_prefetches_;
+    statistics::Distribution &stat_miss_latency_;
+    statistics::Distribution &stat_miss_fill_wait_;
 };
 
 } // namespace fenceless::mem

@@ -66,6 +66,8 @@ struct Msg
     NodeId src = 0;
     NodeId dst = 0;
     Addr block_addr = 0;
+    std::uint64_t req_id = 0; //!< request-lifetime id (0 = untracked)
+    Tick sent_tick = 0;       //!< stamped by Network::send
     std::vector<std::uint8_t> data; //!< block payload, empty for ctrl msgs
 
     bool hasData() const { return !data.empty(); }

@@ -65,10 +65,18 @@ Network::Network(sim::SimContext &ctx, const std::string &name,
       stat_data_msgs_(statGroup().addScalar("data_msgs",
                                             "data-carrying messages")),
       stat_ctrl_msgs_(statGroup().addScalar("ctrl_msgs",
-                                            "control messages"))
+                                            "control messages")),
+      stat_msg_latency_(statGroup().addDistribution("msg_latency",
+          "cycles from send to delivery (latency + serialization + "
+          "channel backpressure)"))
 {
     flAssert(params_.link_bytes_per_cycle > 0,
              "network link bandwidth must be positive");
+
+    std::vector<std::string> msg_names;
+    for (int t = 0; t <= static_cast<int>(MsgType::FwdNoDataAck); ++t)
+        msg_names.push_back(msgTypeName(static_cast<MsgType>(t)));
+    tracer().setAuxNames(trace::EventKind::NetHop, std::move(msg_names));
 }
 
 void
@@ -85,6 +93,7 @@ Network::send(Msg msg)
 {
     flAssert(msg.dst < endpoints_.size() && endpoints_[msg.dst],
              "message to unregistered endpoint ", msg.dst);
+    msg.sent_tick = curTick();
 
     const Cycles serialization =
         (msg.sizeBytes() + params_.link_bytes_per_cycle - 1)
@@ -119,6 +128,10 @@ Network::DeliveryEvent::process()
 void
 Network::deliver(const Msg &msg)
 {
+    const Tick latency = curTick() - msg.sent_tick;
+    stat_msg_latency_.sample(static_cast<double>(latency));
+    FL_TEVENT(*this, trace::EventKind::NetHop, msg.req_id, latency,
+              static_cast<std::uint32_t>(msg.type));
     endpoints_[msg.dst]->receiveMsg(msg);
 }
 

@@ -77,6 +77,7 @@ class Network : public sim::SimObject
     statistics::Scalar &stat_bytes_;
     statistics::Scalar &stat_data_msgs_;
     statistics::Scalar &stat_ctrl_msgs_;
+    statistics::Distribution &stat_msg_latency_;
 };
 
 } // namespace fenceless::mem

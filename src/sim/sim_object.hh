@@ -10,19 +10,23 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "sim/eventq.hh"
+#include "sim/trace_sink.hh"
 
 namespace fenceless::sim
 {
 
 /**
- * Shared state every component needs: the event queue and the stat
- * registry.  Owned by the System (harness); passed by reference to all
- * SimObjects.
+ * Shared state every component needs: the event queue, the stat
+ * registry, and the structured trace sink.  Owned by the System
+ * (harness); passed by reference to all SimObjects.  One context == one
+ * simulated system == one host thread, so none of these members need
+ * locking even when a SweepRunner drives many systems in parallel.
  */
 struct SimContext
 {
     EventQueue eventq;
     statistics::StatRegistry stats;
+    trace::TraceSink tracer;
 
     Tick curTick() const { return eventq.curTick(); }
 };
@@ -38,7 +42,8 @@ class SimObject
   public:
     SimObject(SimContext &ctx, std::string name)
         : ctx_(ctx), name_(std::move(name)),
-          stats_(ctx.stats.createGroup(name_))
+          stats_(ctx.stats.createGroup(name_)),
+          trace_id_(ctx.tracer.registerComponent(name_))
     {}
 
     virtual ~SimObject() = default;
@@ -52,6 +57,12 @@ class SimObject
     EventQueue &eventq() { return ctx_.eventq; }
     statistics::StatGroup &statGroup() { return stats_; }
     const statistics::StatGroup &statGroup() const { return stats_; }
+
+    trace::TraceSink &tracer() { return ctx_.tracer; }
+    const trace::TraceSink &tracer() const { return ctx_.tracer; }
+
+    /** Timeline track id of this component in the trace sink. */
+    std::uint16_t traceId() const { return trace_id_; }
 
     /** Schedule an event @p delay cycles from now. */
     void
@@ -73,6 +84,7 @@ class SimObject
   private:
     std::string name_;
     statistics::StatGroup &stats_;
+    std::uint16_t trace_id_;
 };
 
 } // namespace fenceless::sim

@@ -1,0 +1,248 @@
+#include "sim/trace_sink.hh"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "base/logging.hh"
+
+namespace fenceless::trace
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::CoreCommit: return "instret";
+      case EventKind::CoreStall: return "stall";
+      case EventKind::SpecEpoch: return "spec_epoch";
+      case EventKind::SpecRollback: return "rollback";
+      case EventKind::SbOccupancy: return "sb_occupancy";
+      case EventKind::ReqIssue: return "req_issue";
+      case EventKind::ReqDirIngress: return "dir_ingress";
+      case EventKind::ReqDirDone: return "dir_done";
+      case EventKind::ReqFill: return "l1_fill";
+      case EventKind::NetHop: return "net_hop";
+      case EventKind::NumKinds: break;
+    }
+    return "?";
+}
+
+Flag
+eventKindFlag(EventKind k)
+{
+    switch (k) {
+      case EventKind::CoreCommit: return Flag::Core;
+      case EventKind::CoreStall: return Flag::Stall;
+      case EventKind::SpecEpoch:
+      case EventKind::SpecRollback: return Flag::Spec;
+      case EventKind::SbOccupancy: return Flag::SB;
+      case EventKind::ReqIssue:
+      case EventKind::ReqDirIngress:
+      case EventKind::ReqDirDone:
+      case EventKind::ReqFill: return Flag::Req;
+      case EventKind::NetHop: return Flag::Net;
+      case EventKind::NumKinds: break;
+    }
+    return Flag::All;
+}
+
+std::uint16_t
+TraceSink::registerComponent(const std::string &name)
+{
+    components_.push_back(name);
+    return static_cast<std::uint16_t>(components_.size() - 1);
+}
+
+void
+TraceSink::setAuxNames(EventKind kind, std::vector<std::string> names)
+{
+    const auto idx = static_cast<std::size_t>(kind);
+    if (aux_names_.size() <= idx)
+        aux_names_.resize(idx + 1);
+    aux_names_[idx] = std::move(names);
+}
+
+const std::string &
+TraceSink::auxName(EventKind kind, std::uint32_t aux) const
+{
+    static const std::string empty;
+    const auto idx = static_cast<std::size_t>(kind);
+    if (idx >= aux_names_.size() || aux >= aux_names_[idx].size())
+        return empty;
+    return aux_names_[idx][aux];
+}
+
+void
+TraceSink::addChunk()
+{
+    chunks_.emplace_back();
+    chunks_.back().reserve(chunk_records);
+}
+
+void
+TraceSink::clear()
+{
+    chunks_.clear();
+    size_ = 0;
+    dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Comma-separated event stream writer (no trailing comma juggling). */
+class EventWriter
+{
+  public:
+    explicit EventWriter(std::ostream &os) : os_(os) {}
+
+    std::ostream &
+    next()
+    {
+        os_ << (first_ ? "\n    " : ",\n    ");
+        first_ = false;
+        return os_;
+    }
+
+  private:
+    std::ostream &os_;
+    bool first_ = true;
+};
+
+void
+writeCommon(std::ostream &os, const char *name, const char *ph,
+            Tick ts, std::uint16_t tid)
+{
+    os << "{\"name\": \"" << name << "\", \"ph\": \"" << ph
+       << "\", \"ts\": " << ts << ", \"pid\": 0, \"tid\": " << tid;
+}
+
+} // namespace
+
+void
+TraceSink::exportChromeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\": [";
+    EventWriter w(os);
+
+    // Track names.  One Chrome "thread" per simulated component.
+    w.next() << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0"
+             << ", \"args\": {\"name\": \"fenceless\"}}";
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        w.next() << "{\"name\": \"thread_name\", \"ph\": \"M\", "
+                 << "\"pid\": 0, \"tid\": " << i
+                 << ", \"args\": {\"name\": \"" << components_[i]
+                 << "\"}}";
+    }
+    if (dropped_) {
+        w.next() << "{\"name\": \"dropped_events\", \"ph\": \"M\", "
+                 << "\"pid\": 0, \"args\": {\"count\": " << dropped_
+                 << "}}";
+    }
+
+    // Request-lifetime events are grouped per request id so the export
+    // can chain them with flow arrows; everything else streams out in
+    // recording order.
+    std::map<std::uint64_t, std::vector<const TraceRecord *>> flows;
+
+    forEach([&](const TraceRecord &r) {
+        const auto kind = static_cast<EventKind>(r.kind);
+        const char *name = eventKindName(kind);
+        switch (kind) {
+          case EventKind::CoreCommit:
+            writeCommon(w.next(), name, "C", r.tick, r.comp);
+            os << ", \"args\": {\"insts\": " << r.a0 << "}}";
+            break;
+
+          case EventKind::SbOccupancy:
+            writeCommon(w.next(), name, "C", r.tick, r.comp);
+            os << ", \"args\": {\"entries\": " << r.a0 << "}}";
+            break;
+
+          case EventKind::CoreStall: {
+            // Recorded once at stall end; a0 carries the begin tick.
+            const Tick dur = r.tick > r.a0 ? r.tick - r.a0 : 1;
+            writeCommon(w.next(), name, "X", r.a0, r.comp);
+            os << ", \"dur\": " << dur << ", \"args\": {\"reason\": \""
+               << auxName(kind, r.aux) << "\"}}";
+            break;
+          }
+
+          case EventKind::SpecEpoch: {
+            const Tick dur = r.tick > r.a0 ? r.tick - r.a0 : 1;
+            writeCommon(w.next(), name, "X", r.a0, r.comp);
+            os << ", \"dur\": " << dur
+               << ", \"args\": {\"outcome\": \""
+               << (r.aux ? "commit" : "rollback")
+               << "\", \"insts\": " << r.a1 << "}}";
+            break;
+          }
+
+          case EventKind::SpecRollback:
+            writeCommon(w.next(), name, "i", r.tick, r.comp);
+            os << ", \"s\": \"t\", \"args\": {\"cause\": \""
+               << auxName(kind, r.aux) << "\", \"discarded_insts\": "
+               << r.a1 << "}}";
+            break;
+
+          case EventKind::NetHop:
+            writeCommon(w.next(), name, "i", r.tick, r.comp);
+            os << ", \"s\": \"t\", \"args\": {\"req\": " << r.a0
+               << ", \"latency\": " << r.a1 << ", \"msg\": \""
+               << auxName(kind, r.aux) << "\"}}";
+            break;
+
+          case EventKind::ReqIssue:
+          case EventKind::ReqDirIngress:
+          case EventKind::ReqDirDone:
+          case EventKind::ReqFill:
+            if (r.a0 != 0)
+                flows[r.a0].push_back(&r);
+            break;
+
+          case EventKind::NumKinds:
+            break;
+        }
+    });
+
+    // One short slice per request phase, chained by flow events: the
+    // "s"/"t"/"f" triple makes Perfetto draw arrows L1 -> directory ->
+    // L1 for each traced miss.
+    for (auto &[req_id, events] : flows) {
+        std::stable_sort(events.begin(), events.end(),
+                         [](const TraceRecord *a, const TraceRecord *b) {
+                             return a->tick < b->tick;
+                         });
+        for (std::size_t i = 0; i < events.size(); ++i) {
+            const TraceRecord &r = *events[i];
+            const auto kind = static_cast<EventKind>(r.kind);
+            writeCommon(w.next(), eventKindName(kind), "X", r.tick,
+                        r.comp);
+            os << ", \"dur\": 1, \"args\": {\"req\": " << req_id;
+            if (kind == EventKind::ReqIssue ||
+                kind == EventKind::ReqFill) {
+                os << ", \"block\": " << r.a1;
+            }
+            os << "}}";
+
+            if (events.size() < 2)
+                continue;
+            const char *ph = i == 0 ? "s"
+                             : i + 1 == events.size() ? "f" : "t";
+            writeCommon(w.next(), "req", ph, r.tick, r.comp);
+            os << ", \"cat\": \"req\", \"id\": " << req_id;
+            if (*ph == 'f')
+                os << ", \"bp\": \"e\"";
+            os << "}";
+        }
+    }
+
+    os << "\n  ],\n  \"displayTimeUnit\": \"ns\"\n}\n";
+}
+
+} // namespace fenceless::trace

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Structured binary event tracing with a Chrome trace-event exporter.
+ *
+ * FL_TRACE prints formatted text -- fine for eyeballing a short run,
+ * useless for timelines.  The TraceSink instead records *typed* binary
+ * events (tick, component id, event kind, two payload words) into
+ * chunked in-memory buffers, and converts them on demand to Chrome
+ * trace-event / Perfetto JSON (`--trace-out=run.json`, open in
+ * `ui.perfetto.dev`): per-core duration events for speculation epochs
+ * and stall intervals, instant events for rollbacks (with cause),
+ * counter events for instruction commit, and cross-component flow
+ * events following one memory request from L1 miss through the
+ * directory back to the fill.
+ *
+ * Concurrency / cost model:
+ *  - One sink per simulated system (it lives in sim::SimContext), and a
+ *    system runs on exactly one host thread, so the hot path is a plain
+ *    bounds-checked append -- no locks, no atomics, safe under
+ *    `SweepRunner --jobs=N` because sinks share nothing.
+ *  - Disabled tracing costs one inline mask test (the FL_TEVENT macro
+ *    mirrors FL_TRACE's guard); nothing is evaluated or stored.
+ *  - Recording is capped (default 4M events, ~128 MiB) so a runaway
+ *    run degrades to counting drops instead of eating the host.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/trace.hh"
+#include "base/types.hh"
+
+namespace fenceless::trace
+{
+
+/**
+ * Every kind of structured event the simulator records.  The exporter
+ * knows each kind's Chrome phase (duration / instant / counter / flow)
+ * and how to decode its payload words.
+ */
+enum class EventKind : std::uint16_t
+{
+    // Core timeline (Flag::Core / Flag::Stall)
+    CoreCommit,   //!< counter: a0 = instructions retired so far
+    CoreStall,    //!< duration: a0 = begin tick, aux = StallReason id
+    // Speculation episodes (Flag::Spec)
+    SpecEpoch,    //!< duration: a0 = begin tick, a1 = insts, aux = outcome
+    SpecRollback, //!< instant: a1 = discarded insts, aux = cause id
+    // Store buffer (Flag::SB)
+    SbOccupancy,  //!< counter: a0 = entries buffered
+    // Request lifetime (Flag::Req): a0 = request id, flows across
+    // components; the exporter draws arrows between the phase slices.
+    ReqIssue,     //!< L1 miss issued to the directory; a1 = block addr
+    ReqDirIngress,//!< request arrived at the directory; a1 = msg type
+    ReqDirDone,   //!< directory transaction completed; a1 = dram reads
+    ReqFill,      //!< fill installed in the L1; a1 = block addr
+    // Network (Flag::Net)
+    NetHop,       //!< instant on the network track: a0 = req id,
+                  //!< a1 = latency, aux = msg type
+    NumKinds,
+};
+
+const char *eventKindName(EventKind k);
+
+/** The Flag that gates recording of @p k (how FL_TEVENT filters). */
+Flag eventKindFlag(EventKind k);
+
+/** One recorded event.  32 bytes, trivially copyable. */
+struct TraceRecord
+{
+    Tick tick;
+    std::uint64_t a0;
+    std::uint64_t a1;
+    std::uint16_t comp;
+    std::uint16_t kind;
+    std::uint32_t aux;
+};
+
+static_assert(sizeof(TraceRecord) == 32, "keep trace records compact");
+
+class TraceSink
+{
+  public:
+    static constexpr std::size_t chunk_records = 1u << 16;
+    static constexpr std::size_t default_cap = 4u << 20;
+
+    explicit TraceSink(std::size_t max_records = default_cap)
+        : max_records_(max_records)
+    {}
+
+    TraceSink(const TraceSink &) = delete;
+    TraceSink &operator=(const TraceSink &) = delete;
+
+    // --- configuration ---------------------------------------------------
+
+    /** Enable recording for the given Flag mask (0 = off, the default). */
+    void setMask(std::uint32_t mask) { mask_ = mask; }
+    std::uint32_t mask() const { return mask_; }
+
+    /** @return true if any structured tracing is enabled. */
+    bool enabled() const { return mask_ != 0; }
+
+    /** @return true if events gated by @p f should be recorded. */
+    bool
+    wants(Flag f) const
+    {
+        return (mask_ & static_cast<std::uint32_t>(f)) != 0;
+    }
+
+    // --- component / request identity ------------------------------------
+
+    /** Register a component; the id names its timeline track. */
+    std::uint16_t registerComponent(const std::string &name);
+
+    const std::vector<std::string> &components() const
+    {
+        return components_;
+    }
+
+    /** Fresh id for one memory request's lifetime (1-based; 0 = none). */
+    std::uint64_t nextRequestId() { return ++last_req_id_; }
+
+    /**
+     * Map integer aux payloads of @p kind to printable names (e.g.
+     * StallReason ids); the exporter uses them for event args.  The
+     * owning component registers its table once at construction.
+     */
+    void setAuxNames(EventKind kind, std::vector<std::string> names);
+
+    /** @return the registered name for (kind, aux), or "" if none. */
+    const std::string &auxName(EventKind kind, std::uint32_t aux) const;
+
+    // --- recording (hot path) --------------------------------------------
+
+    /** Append one event.  Call through FL_TEVENT, not directly. */
+    void
+    record(std::uint16_t comp, EventKind kind, Tick tick,
+           std::uint64_t a0 = 0, std::uint64_t a1 = 0,
+           std::uint32_t aux = 0)
+    {
+        if (size_ >= max_records_) {
+            ++dropped_;
+            return;
+        }
+        if (chunks_.empty() || chunks_.back().size() == chunk_records)
+            addChunk();
+        chunks_.back().push_back(
+            TraceRecord{tick, a0, a1, comp,
+                        static_cast<std::uint16_t>(kind), aux});
+        ++size_;
+    }
+
+    // --- inspection / export ---------------------------------------------
+
+    std::size_t size() const { return size_; }
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Visit every record in recording order. */
+    template <typename Fn>
+    void
+    forEach(Fn fn) const
+    {
+        for (const auto &chunk : chunks_)
+            for (const TraceRecord &r : chunk)
+                fn(r);
+    }
+
+    /** Discard all recorded events (identity registrations survive). */
+    void clear();
+
+    /**
+     * Write everything as a Chrome trace-event JSON object
+     * (`{"traceEvents": [...]}`), loadable by chrome://tracing and
+     * ui.perfetto.dev.  Ticks are exported as microseconds 1:1.
+     */
+    void exportChromeJson(std::ostream &os) const;
+
+  private:
+    void addChunk();
+
+    std::uint32_t mask_ = 0;
+    std::size_t max_records_;
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t last_req_id_ = 0;
+    std::vector<std::vector<TraceRecord>> chunks_;
+    std::vector<std::string> components_;
+    std::vector<std::vector<std::string>> aux_names_;
+};
+
+} // namespace fenceless::trace
+
+/**
+ * Record a structured trace event.  @p obj must provide tracer(),
+ * traceId() and curTick() (every SimObject does).  The payload
+ * arguments are not evaluated when the gating flag is disabled.
+ */
+#define FL_TEVENT(obj, kind, ...)                                      \
+    do {                                                               \
+        if ((obj).tracer().wants(                                      \
+                fenceless::trace::eventKindFlag(kind))) {              \
+            (obj).tracer().record((obj).traceId(), kind,               \
+                                  (obj).curTick(), ##__VA_ARGS__);     \
+        }                                                              \
+    } while (0)

@@ -255,11 +255,28 @@ TEST(Trace, EmitsWhenEnabled)
 TEST(Trace, ParseFlags)
 {
     using trace::Flag;
-    EXPECT_EQ(trace::parseFlags("l1"),
-              static_cast<std::uint32_t>(Flag::L1));
-    EXPECT_EQ(trace::parseFlags("core,spec"),
-              static_cast<std::uint32_t>(Flag::Core) |
-                  static_cast<std::uint32_t>(Flag::Spec));
-    EXPECT_EQ(trace::parseFlags("all"), ~0u);
-    EXPECT_EQ(trace::parseFlags(""), 0u);
+    std::uint32_t mask = 0;
+    std::string error;
+    EXPECT_TRUE(trace::parseFlags("l1", mask, error));
+    EXPECT_EQ(mask, static_cast<std::uint32_t>(Flag::L1));
+    EXPECT_TRUE(trace::parseFlags("core,spec", mask, error));
+    EXPECT_EQ(mask, static_cast<std::uint32_t>(Flag::Core) |
+                        static_cast<std::uint32_t>(Flag::Spec));
+    EXPECT_TRUE(trace::parseFlags("all", mask, error));
+    EXPECT_EQ(mask, ~0u);
+    EXPECT_TRUE(trace::parseFlags("", mask, error));
+    EXPECT_EQ(mask, 0u);
+}
+
+TEST(Trace, ParseFlagsReportsUnknownNames)
+{
+    std::uint32_t mask = 0xdead;
+    std::string error;
+    EXPECT_FALSE(trace::parseFlags("l1,bogus", mask, error));
+    EXPECT_EQ(mask, 0xdeadu) << "mask must be untouched on failure";
+    EXPECT_NE(error.find("bogus"), std::string::npos);
+    // The error lists every valid flag so a sweep log is actionable.
+    EXPECT_NE(error.find(trace::validFlagNames()), std::string::npos);
+    EXPECT_NE(trace::validFlagNames().find("req"), std::string::npos);
+    EXPECT_NE(trace::validFlagNames().find("stall"), std::string::npos);
 }

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Dedicated tests for the statistics package: Formula evaluation,
+ * Histogram bucket edges and under/overflow accounting, registry-wide
+ * reset, CSV/JSON rendering of every stat kind, and a numerical
+ * regression for the Welford stdev (large mean, small variance).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "base/stats.hh"
+#include "base/stats_json.hh"
+
+using namespace fenceless;
+using namespace fenceless::statistics;
+
+namespace
+{
+
+/** Parse "name,value" CSV lines into a map for round-trip checks. */
+std::map<std::string, double>
+parseCsv(const std::string &csv)
+{
+    std::map<std::string, double> out;
+    std::istringstream is(csv);
+    std::string line;
+    while (std::getline(is, line)) {
+        auto comma = line.rfind(',');
+        EXPECT_NE(comma, std::string::npos) << "bad CSV line: " << line;
+        out[line.substr(0, comma)] = std::stod(line.substr(comma + 1));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Formula, EvaluatesLazilyFromOtherStats)
+{
+    StatGroup g("core");
+    Scalar &insts = g.addScalar("insts", "instructions");
+    Scalar &cycles = g.addScalar("cycles", "cycles");
+    Formula &ipc = g.addFormula("ipc", "IPC", [&] {
+        return cycles.count()
+                   ? insts.value() / cycles.value()
+                   : 0.0;
+    });
+
+    EXPECT_EQ(ipc.value(), 0.0);
+    insts += 300;
+    cycles += 100;
+    EXPECT_DOUBLE_EQ(ipc.value(), 3.0);
+    // Lazily re-evaluated: later bumps are visible without resampling.
+    cycles += 200;
+    EXPECT_DOUBLE_EQ(ipc.value(), 1.0);
+}
+
+TEST(Formula, EmptyFunctionIsZero)
+{
+    Formula f("f", "no fn", nullptr);
+    EXPECT_EQ(f.value(), 0.0);
+    f.reset(); // no-op, must not crash
+}
+
+TEST(Histogram, BucketEdges)
+{
+    // [0, 10) in 5 buckets of width 2.
+    Histogram h("h", "edges", 0.0, 10.0, 5);
+    h.sample(0.0);   // first bucket, inclusive lower edge
+    h.sample(1.999); // still first bucket
+    h.sample(2.0);   // exactly on an interior edge -> second bucket
+    h.sample(9.999); // last bucket
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(4), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.samples(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflow)
+{
+    Histogram h("h", "out of range", 0.0, 10.0, 5);
+    h.sample(-0.001);     // below lo
+    h.sample(-100, 2);    // weighted underflow
+    h.sample(10.0);       // hi itself is exclusive -> overflow
+    h.sample(1e12);
+    EXPECT_EQ(h.underflow(), 3u);
+    EXPECT_EQ(h.overflow(), 2u);
+    // Under/overflow still count as samples...
+    EXPECT_EQ(h.samples(), 5u);
+    // ...but land in no bucket.
+    for (unsigned i = 0; i < h.numBuckets(); ++i)
+        EXPECT_EQ(h.bucketCount(i), 0u);
+}
+
+TEST(Histogram, WeightedSamples)
+{
+    Histogram h("h", "weighted", 0.0, 8.0, 4);
+    h.sample(3.0, 7);
+    EXPECT_EQ(h.bucketCount(1), 7u);
+    EXPECT_EQ(h.samples(), 7u);
+}
+
+TEST(Distribution, WelfordLargeMeanSmallVariance)
+{
+    // The naive sqsum/n - mean^2 form loses every significant digit
+    // here (and can go negative); Welford keeps full precision.
+    Distribution d("d", "large mean");
+    const double base = 1e9;
+    d.sample(base + 1);
+    d.sample(base + 2);
+    d.sample(base + 3);
+    EXPECT_DOUBLE_EQ(d.mean(), base + 2);
+    // Population stdev of {1,2,3} = sqrt(2/3).
+    EXPECT_NEAR(d.stdev(), std::sqrt(2.0 / 3.0), 1e-9);
+}
+
+TEST(Distribution, WeightedStdevMatchesRepeatedSamples)
+{
+    Distribution a("a", "weighted");
+    Distribution b("b", "repeated");
+    a.sample(5.0, 3);
+    a.sample(11.0, 1);
+    for (int i = 0; i < 3; ++i)
+        b.sample(5.0);
+    b.sample(11.0);
+    EXPECT_DOUBLE_EQ(a.mean(), b.mean());
+    EXPECT_NEAR(a.stdev(), b.stdev(), 1e-12);
+    EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(StatRegistry, ResetClearsEveryKindInEveryGroup)
+{
+    StatRegistry reg;
+    StatGroup &g1 = reg.createGroup("g1");
+    StatGroup &g2 = reg.createGroup("g2");
+    Scalar &s = g1.addScalar("s", "scalar");
+    Distribution &d = g1.addDistribution("d", "dist");
+    Histogram &h = g2.addHistogram("h", "hist", 0, 10, 5);
+    Scalar &feeder = g2.addScalar("feeder", "formula input");
+    Formula &f = g2.addFormula("f", "derived",
+                               [&] { return feeder.value() * 2; });
+
+    s += 42;
+    d.sample(7);
+    d.sample(9);
+    h.sample(-1);
+    h.sample(3);
+    h.sample(99);
+    feeder += 10;
+    ASSERT_EQ(s.count(), 42u);
+    ASSERT_EQ(d.samples(), 2u);
+    ASSERT_EQ(h.samples(), 3u);
+
+    reg.reset();
+
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(d.samples(), 0u);
+    EXPECT_EQ(d.mean(), 0.0);
+    EXPECT_EQ(d.stdev(), 0.0);
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    // Formulas derive from live stats, so reset flows through inputs.
+    EXPECT_EQ(f.value(), 0.0);
+
+    // Structure survives: the groups and stats are still registered.
+    EXPECT_EQ(reg.findGroup("g1"), &g1);
+    EXPECT_NE(g2.find("h"), nullptr);
+}
+
+TEST(StatRegistry, CsvRoundTripEveryKind)
+{
+    StatRegistry reg;
+    StatGroup &g = reg.createGroup("comp");
+    Scalar &s = g.addScalar("hits", "hits");
+    Distribution &d = g.addDistribution("lat", "latency");
+    Histogram &h = g.addHistogram("occ", "occupancy", 0, 4, 2);
+    g.addFormula("ratio", "derived", [&] { return s.value() / 2; });
+
+    s += 8;
+    d.sample(10);
+    d.sample(20);
+    h.sample(1);
+    h.sample(3, 2);
+    h.sample(-5);
+    h.sample(100);
+
+    std::ostringstream os;
+    reg.printCsv(os);
+    auto csv = parseCsv(os.str());
+
+    EXPECT_DOUBLE_EQ(csv.at("comp.hits"), 8);
+    EXPECT_DOUBLE_EQ(csv.at("comp.lat.mean"), 15);
+    EXPECT_DOUBLE_EQ(csv.at("comp.lat.min"), 10);
+    EXPECT_DOUBLE_EQ(csv.at("comp.lat.max"), 20);
+    EXPECT_DOUBLE_EQ(csv.at("comp.lat.stdev"), 5);
+    EXPECT_DOUBLE_EQ(csv.at("comp.lat.n"), 2);
+    EXPECT_DOUBLE_EQ(csv.at("comp.occ.n"), 5);
+    EXPECT_DOUBLE_EQ(csv.at("comp.occ.underflow"), 1);
+    EXPECT_DOUBLE_EQ(csv.at("comp.occ.bucket0"), 1);
+    EXPECT_DOUBLE_EQ(csv.at("comp.occ.bucket1"), 2);
+    EXPECT_DOUBLE_EQ(csv.at("comp.occ.overflow"), 1);
+    EXPECT_DOUBLE_EQ(csv.at("comp.ratio"), 4);
+}
+
+TEST(StatsJson, EveryKindRendersItsFullState)
+{
+    StatRegistry reg;
+    StatGroup &g = reg.createGroup("comp");
+    Scalar &s = g.addScalar("hits", "hits");
+    Distribution &d = g.addDistribution("lat", "latency");
+    Histogram &h = g.addHistogram("occ", "occupancy", 0, 4, 2);
+    g.addFormula("ratio", "derived", [&] { return s.value() / 2; });
+
+    s += 8;
+    d.sample(10);
+    d.sample(20);
+    h.sample(1);
+    h.sample(-5);
+
+    std::ostringstream os;
+    printJson(os, reg);
+    const std::string json = os.str();
+
+    // Structurally balanced...
+    long depth = 0;
+    for (char c : json) {
+        if (c == '{')
+            ++depth;
+        if (c == '}')
+            --depth;
+        ASSERT_GE(depth, 0);
+    }
+    EXPECT_EQ(depth, 0);
+
+    // ...and each kind carries its complete state.
+    EXPECT_NE(json.find("\"groups\""), std::string::npos);
+    EXPECT_NE(json.find("\"comp.hits\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"scalar\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"distribution\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"histogram\""), std::string::npos);
+    EXPECT_NE(json.find("\"kind\": \"formula\""), std::string::npos);
+    EXPECT_NE(json.find("\"mean\""), std::string::npos);
+    EXPECT_NE(json.find("\"stdev\""), std::string::npos);
+    EXPECT_NE(json.find("\"underflow\""), std::string::npos);
+    EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(StatsJson, QuoteEscapesSpecials)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(jsonQuote("a\\b"), "\"a\\\\b\"");
+    EXPECT_EQ(jsonQuote("a\nb"), "\"a\\nb\"");
+}
