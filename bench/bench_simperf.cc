@@ -16,7 +16,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -41,10 +43,21 @@ BM_EventQueue(benchmark::State &state)
 {
     sim::EventQueue eq;
     std::uint64_t fired = 0;
+    // A handful of recurring events that get rescheduled every burst:
+    // each reschedule leaves a lazily-deleted entry behind, so the
+    // stale_pops counter below exercises the calendar queue's skip
+    // path, not just the happy path.
+    std::deque<sim::EventFunctionWrapper> movers;
+    for (int i = 0; i < 8; ++i)
+        movers.emplace_back([&fired] { ++fired; }, "bench.mover");
     for (auto _ : state) {
         for (int i = 0; i < 1000; ++i) {
             sim::scheduleOneShot(eq, eq.curTick() + 1 + (i % 7),
                                  [&fired] { ++fired; });
+        }
+        for (std::size_t i = 0; i < movers.size(); ++i) {
+            eq.schedule(&movers[i], eq.curTick() + 2 + i);
+            eq.reschedule(&movers[i], eq.curTick() + 9 + i);
         }
         eq.run();
         benchmark::DoNotOptimize(fired);
@@ -54,6 +67,11 @@ BM_EventQueue(benchmark::State &state)
     // burst: this counter catching fire is an allocation regression.
     state.counters["oneshot_nodes"] = static_cast<double>(
         eq.oneShotNodesAllocated());
+    // Lazily-deleted entries the pop path skipped (from the
+    // reschedules above); queue-health trajectory for the JSON file.
+    state.counters["stale_pops"] = static_cast<double>(eq.stalePops());
+    state.counters["near_pops"] = static_cast<double>(eq.nearPops());
+    state.counters["far_pops"] = static_cast<double>(eq.farPops());
 }
 BENCHMARK(BM_EventQueue);
 
@@ -63,6 +81,8 @@ BM_FullSystem(benchmark::State &state)
     const bool speculative = state.range(0) != 0;
     std::uint64_t sim_insts = 0;
     std::uint64_t sim_cycles = 0;
+    double oneshot_nodes = 0;
+    double stale_pops = 0;
     for (auto _ : state) {
         harness::SystemConfig cfg;
         cfg.num_cores = 4;
@@ -76,11 +96,19 @@ BM_FullSystem(benchmark::State &state)
         benchmark::DoNotOptimize(done);
         sim_insts += sys.totalInstructions();
         sim_cycles += sys.runtimeCycles();
+        // Queue health of the last run: the one-shot pool's high-water
+        // mark bounds steady-state event allocation, and stale_pops
+        // tracks how much lazily-deleted work the pop path skips.
+        const sim::EventQueue &eq = sys.context().eventq;
+        oneshot_nodes = static_cast<double>(eq.oneShotNodesAllocated());
+        stale_pops = static_cast<double>(eq.stalePops());
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
     state.counters["sim_cycles"] =
         benchmark::Counter(static_cast<double>(sim_cycles),
                            benchmark::Counter::kIsRate);
+    state.counters["oneshot_nodes"] = oneshot_nodes;
+    state.counters["stale_pops"] = stale_pops;
 }
 BENCHMARK(BM_FullSystem)->Arg(0)->Arg(1);
 
@@ -174,6 +202,14 @@ BENCHMARK(BM_ParallelSweep)->Unit(benchmark::kMillisecond);
  * Console output as usual, plus a capture of every run's items/sec for
  * the JSON trajectory file.
  */
+struct CapturedRun
+{
+    std::string name;
+    double items_per_second = 0;
+    //!< every user counter (oneshot_nodes, stale_pops, ...), sorted
+    std::vector<std::pair<std::string, double>> counters;
+};
+
 class CaptureReporter : public benchmark::ConsoleReporter
 {
   public:
@@ -185,29 +221,43 @@ class CaptureReporter : public benchmark::ConsoleReporter
                 run.error_occurred) {
                 continue;
             }
-            double items = 0;
-            if (auto it = run.counters.find("items_per_second");
-                it != run.counters.end()) {
-                items = it->second;
+            CapturedRun cap;
+            cap.name = run.benchmark_name();
+            for (const auto &[cname, counter] : run.counters) {
+                if (cname == "items_per_second")
+                    cap.items_per_second = counter;
+                else
+                    cap.counters.emplace_back(cname, counter.value);
             }
-            captured.emplace_back(run.benchmark_name(), items);
+            std::sort(cap.counters.begin(), cap.counters.end());
+            captured.push_back(std::move(cap));
         }
         ConsoleReporter::ReportRuns(reports);
     }
 
-    std::vector<std::pair<std::string, double>> captured;
+    std::vector<CapturedRun> captured;
 };
 
 void
-writeJson(const std::vector<std::pair<std::string, double>> &captured,
+writeJson(const std::vector<CapturedRun> &captured,
           const std::string &path)
 {
     std::ofstream os(path);
     os << "{\n  \"benchmarks\": [\n";
     for (std::size_t i = 0; i < captured.size(); ++i) {
-        os << "    {\"name\": \"" << captured[i].first
-           << "\", \"items_per_second\": " << captured[i].second
-           << "}" << (i + 1 < captured.size() ? "," : "") << "\n";
+        const CapturedRun &cap = captured[i];
+        os << "    {\"name\": \"" << cap.name
+           << "\", \"items_per_second\": " << cap.items_per_second;
+        if (!cap.counters.empty()) {
+            os << ", \"counters\": {";
+            for (std::size_t c = 0; c < cap.counters.size(); ++c) {
+                os << "\"" << cap.counters[c].first << "\": "
+                   << cap.counters[c].second
+                   << (c + 1 < cap.counters.size() ? ", " : "");
+            }
+            os << "}";
+        }
+        os << "}" << (i + 1 < captured.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
 }

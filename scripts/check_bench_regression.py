@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_simperf.json against the committed baseline.
+
+Usage: check_bench_regression.py BASELINE FRESH [--threshold=0.20]
+
+Fails (exit 1) if any guarded benchmark's items_per_second dropped by
+more than the threshold relative to the baseline.  Only the simulator
+hot-path benchmarks are guarded: wall-clock noise on shared CI runners
+makes guarding everything counterproductive, but a >20% drop on the
+event kernel or the full-system run is a real regression.
+
+Benchmarks present in only one file are reported but never fatal, so
+adding or renaming benchmarks does not break CI in the same PR.
+"""
+
+import json
+import sys
+
+GUARDED_PREFIXES = ("BM_EventQueue", "BM_FullSystem/")
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    return {b["name"]: b["items_per_second"] for b in doc["benchmarks"]}
+
+
+def main(argv):
+    threshold = 0.20
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    baseline = load(paths[0])
+    fresh = load(paths[1])
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        if not name.startswith(GUARDED_PREFIXES):
+            continue
+        if name not in fresh:
+            print(f"note: {name} missing from fresh run (skipped)")
+            continue
+        now = fresh[name]
+        ratio = now / base if base else float("inf")
+        status = "ok"
+        if ratio < 1.0 - threshold:
+            status = "REGRESSION"
+            failures.append(name)
+        print(f"{name}: {base:.3g} -> {now:.3g} items/s "
+              f"({ratio:.1%} of baseline) {status}")
+
+    for name in sorted(set(fresh) - set(baseline)):
+        print(f"note: {name} not in baseline (unguarded)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{threshold:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nno guarded benchmark regressed beyond "
+          f"{threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

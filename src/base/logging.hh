@@ -75,17 +75,20 @@ inform(Args &&...args)
     detail::informImpl(detail::concat(std::forward<Args>(args)...));
 }
 
+} // namespace fenceless
+
 /**
  * Check a simulator invariant; panic with a message when it does not hold.
  * Unlike assert() this is always compiled in: protocol invariants are cheap
  * relative to event processing and catching them beats silent corruption.
+ *
+ * A macro (not a function) so the message arguments are only evaluated
+ * when the condition fails: assertions on hot paths routinely pass
+ * expensive-to-build messages (msg.toString(), event names), and a
+ * function would construct them millions of times for nothing.
  */
-template <typename... Args>
-void
-flAssert(bool condition, Args &&...args)
-{
-    if (!condition)
-        panic(std::forward<Args>(args)...);
-}
-
-} // namespace fenceless
+#define flAssert(condition, ...)                                        \
+    do {                                                                \
+        if (!(condition))                                               \
+            ::fenceless::panic(__VA_ARGS__);                            \
+    } while (0)

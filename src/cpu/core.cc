@@ -61,14 +61,14 @@ Core::Core(sim::SimContext &ctx, const std::string &name,
            const Params &params, CoreId core_id, const isa::Program &prog,
            mem::L1Cache &l1, std::uint32_t num_cores)
     : SimObject(ctx, name), params_(params), core_id_(core_id),
-      prog_(prog), l1_(l1), num_cores_(num_cores),
+      prog_(prog), decoded_(prog), l1_(l1), num_cores_(num_cores),
       sb_(ctx, statGroup(),
           StoreBuffer::Params{params.sb_size,
                               ModelPolicy::sbDrainsInOrder(params.model),
                               params.sb_max_inflight,
                               params.sb_prefetch_depth},
           l1),
-      tick_event_([this] { tick(); }, name + ".tick"),
+      tick_event_(*this, name + ".tick"),
       stat_instructions_(statGroup().addScalar("instructions",
                                                "instructions retired")),
       stat_loads_(statGroup().addScalar("loads", "loads executed")),
@@ -162,12 +162,45 @@ Core::accountStall(StallReason reason, Tick begin)
 std::function<void()>
 Core::resumer(StallReason reason)
 {
-    return [this, reason, begin = curTick(), gen = squash_gen_] {
-        if (gen != squash_gen_)
-            return; // stale: the core was squashed meanwhile
-        accountStall(reason, begin);
-        scheduleTick(1);
-    };
+    // Idle-sleep entry: while waiting, the core schedules nothing --
+    // no tick events fire for the dead cycles -- and wake() accounts
+    // the whole slept interval in one shot, so the stall statistics
+    // are exactly what per-cycle accounting would have produced.
+    sleep_reason_ = reason;
+    sleep_begin_ = curTick();
+    return [this, gen = squash_gen_] { wake(gen); };
+}
+
+void
+Core::wake(std::uint64_t gen)
+{
+    if (gen != squash_gen_)
+        return; // stale: the core was squashed while asleep
+    accountStall(sleep_reason_, sleep_begin_);
+    scheduleTick(1);
+}
+
+void
+Core::loadResponse(std::uint64_t gen, std::uint64_t value)
+{
+    if (gen != squash_gen_)
+        return; // stale: the core was squashed while the load flew
+    accountStall(StallReason::LoadAccess, pending_begin_);
+    stat_load_latency_.sample(
+        static_cast<double>(curTick() - pending_begin_));
+    setReg(pending_rd_, value);
+    advance(pc_ + 1);
+}
+
+void
+Core::amoResponse(std::uint64_t gen, std::uint64_t old_value)
+{
+    if (gen != squash_gen_)
+        return; // stale: the core was squashed while the AMO flew
+    amo_in_flight_ = false;
+    accountStall(StallReason::AmoAccess, pending_begin_);
+    setReg(pending_rd_, old_value);
+    advance(pc_ + 1);
 }
 
 Core::ArchSnapshot
@@ -208,60 +241,58 @@ Core::tick()
              " out of range");
     const Inst &inst = prog_.code[pc_];
 
-    switch (inst.op) {
-      case Op::Add: case Op::Sub: case Op::And: case Op::Or: case Op::Xor:
-      case Op::Sll: case Op::Srl: case Op::Sra: case Op::Slt:
-      case Op::Sltu: case Op::Mul: case Op::Divu: case Op::Remu:
+    // Dispatch on the pre-decoded execution class (computed once per
+    // static instruction at construction) instead of re-classifying
+    // the ~40-way opcode space on every dynamic step.
+    switch (decoded_.cls(pc_)) {
+      case isa::ExecClass::AluReg:
         setReg(inst.rd, isa::aluOp(inst.op, reg(inst.rs1),
                                    reg(inst.rs2)));
         advance(pc_ + 1);
         break;
 
-      case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
-      case Op::Slli: case Op::Srli: case Op::Srai: case Op::Slti:
-      case Op::Sltiu:
+      case isa::ExecClass::AluImm:
         setReg(inst.rd, isa::aluOp(inst.op, reg(inst.rs1),
                                    static_cast<std::uint64_t>(inst.imm)));
         advance(pc_ + 1);
         break;
 
-      case Op::Li:
+      case isa::ExecClass::Li:
         setReg(inst.rd, static_cast<std::uint64_t>(inst.imm));
         advance(pc_ + 1);
         break;
 
-      case Op::Load:
+      case isa::ExecClass::Load:
         executeLoad(inst);
         break;
-      case Op::Store:
+      case isa::ExecClass::Store:
         executeStore(inst);
         break;
-      case Op::AmoSwap: case Op::AmoAdd: case Op::AmoCas:
+      case isa::ExecClass::Amo:
         executeAmo(inst);
         break;
-      case Op::Fence:
+      case isa::ExecClass::Fence:
         executeFence(inst);
         break;
 
-      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
-      case Op::Bltu: case Op::Bgeu:
+      case isa::ExecClass::Branch:
         advance(isa::branchTaken(inst.op, reg(inst.rs1), reg(inst.rs2))
                 ? static_cast<std::uint64_t>(inst.imm) : pc_ + 1);
         break;
 
-      case Op::Jal:
+      case isa::ExecClass::Jal:
         setReg(inst.rd, pc_ + 1);
         advance(static_cast<std::uint64_t>(inst.imm));
         break;
 
-      case Op::Jalr: {
+      case isa::ExecClass::Jalr: {
         const std::uint64_t target = reg(inst.rs1) + inst.imm;
         setReg(inst.rd, pc_ + 1);
         advance(target);
         break;
       }
 
-      case Op::CsrRead:
+      case isa::ExecClass::CsrRead:
         switch (inst.csr) {
           case isa::Csr::Tid:
             setReg(inst.rd, core_id_);
@@ -279,14 +310,14 @@ Core::tick()
         advance(pc_ + 1);
         break;
 
-      case Op::Halt:
+      case isa::ExecClass::Halt:
         executeHalt();
         break;
 
-      case Op::Nop:
+      case isa::ExecClass::Nop:
         advance(pc_ + 1);
         break;
-      case Op::Pause:
+      case isa::ExecClass::Pause:
         advance(pc_ + 1, params_.pause_cycles);
         break;
     }
@@ -338,22 +369,23 @@ Core::executeLoad(const Inst &inst)
     }
 
     ++stat_loads_;
+    // Per-request state lives in the single pending-access slot (the
+    // in-order core has at most one access outstanding); the bound
+    // completion carries only the squash generation, so issuing a load
+    // builds no closure and allocates nothing.
+    pending_rd_ = inst.rd;
+    pending_begin_ = curTick();
     mem::MemRequest req;
     req.op = mem::MemOp::Load;
     req.addr = addr;
     req.size = inst.size;
     req.spec = spec_now;
     req.spec_epoch = spec_now ? spec_->epoch() : 0;
-    req.callback = [this, rd = inst.rd, gen = squash_gen_,
-                    begin = curTick()](std::uint64_t value) {
-        if (gen != squash_gen_)
-            return;
-        accountStall(StallReason::LoadAccess, begin);
-        stat_load_latency_.sample(
-            static_cast<double>(curTick() - begin));
-        setReg(rd, value);
-        advance(pc_ + 1);
+    req.done_fn = [](void *obj, std::uint64_t gen, std::uint64_t value) {
+        static_cast<Core *>(obj)->loadResponse(gen, value);
     };
+    req.done_obj = this;
+    req.done_ctx = squash_gen_;
     l1_.access(std::move(req));
 }
 
@@ -417,25 +449,27 @@ Core::executeAmo(const Inst &inst)
 
     ++stat_amos_;
     amo_in_flight_ = true;
+    pending_rd_ = inst.rd;
+    pending_begin_ = curTick();
     mem::MemRequest req;
     req.op = mem::MemOp::Amo;
     req.addr = addr;
     req.size = inst.size;
     req.spec = spec_now;
     req.spec_epoch = spec_now ? spec_->epoch() : 0;
-    req.amo_func = [inst, rs2 = reg(inst.rs2),
-                    rs3 = reg(inst.rs3)](std::uint64_t old_value) {
-        return isa::amoApply(inst, old_value, rs2, rs3);
+    req.amo_fn = [](std::uint8_t sel, std::uint64_t old_value,
+                    std::uint64_t a, std::uint64_t b) {
+        return isa::amoApplyOp(static_cast<Op>(sel), old_value, a, b);
     };
-    req.callback = [this, rd = inst.rd, gen = squash_gen_,
-                    begin = curTick()](std::uint64_t old_value) {
-        if (gen != squash_gen_)
-            return;
-        amo_in_flight_ = false;
-        accountStall(StallReason::AmoAccess, begin);
-        setReg(rd, old_value);
-        advance(pc_ + 1);
+    req.amo_sel = static_cast<std::uint8_t>(inst.op);
+    req.amo_a = reg(inst.rs2);
+    req.amo_b = reg(inst.rs3);
+    req.done_fn = [](void *obj, std::uint64_t gen,
+                     std::uint64_t old_value) {
+        static_cast<Core *>(obj)->amoResponse(gen, old_value);
     };
+    req.done_obj = this;
+    req.done_ctx = squash_gen_;
     l1_.access(std::move(req));
 }
 

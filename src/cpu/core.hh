@@ -23,6 +23,7 @@
 
 #include "cpu/consistency.hh"
 #include "cpu/store_buffer.hh"
+#include "isa/decoded.hh"
 #include "isa/program.hh"
 #include "mem/l1_cache.hh"
 #include "sim/sim_object.hh"
@@ -173,14 +174,49 @@ class Core : public sim::SimObject
     void restoreAndResume(const ArchSnapshot &snap);
 
   private:
+    /**
+     * The recurring per-cycle event.  A dedicated Event subclass (not
+     * an EventFunctionWrapper) so firing a cycle is one virtual call
+     * straight into tick() with no std::function indirection.
+     */
+    class TickEvent final : public sim::Event
+    {
+      public:
+        TickEvent(Core &core, std::string name)
+            : core_(core), name_(std::move(name))
+        {}
+
+        void process() override { core_.tick(); }
+        const char *name() const override { return name_.c_str(); }
+
+      private:
+        Core &core_;
+        std::string name_;
+    };
+
     void tick();
     void scheduleTick(Cycles delay);
 
     /**
-     * Enter a wait: account cycles under @p reason until the resume
-     * callback produced by @ref resumer fires.
+     * Enter an idle sleep: record @p reason and the current tick in
+     * members and return the wake callback.  While asleep the core
+     * schedules no tick events at all; @ref wake bulk-accounts the
+     * slept cycles under the recorded reason.  Valid because the
+     * in-order core has at most one wait pending per squash
+     * generation, so the returned closure only needs (this, gen) and
+     * fits std::function's inline storage -- entering a stall
+     * allocates nothing.
      */
     std::function<void()> resumer(StallReason reason);
+
+    /** Wake from an idle sleep (no-op if @p gen is stale). */
+    void wake(std::uint64_t gen);
+
+    /** Completion of the (single) outstanding load, via done_fn. */
+    void loadResponse(std::uint64_t gen, std::uint64_t value);
+
+    /** Completion of the (single) outstanding AMO, via done_fn. */
+    void amoResponse(std::uint64_t gen, std::uint64_t old_value);
 
     void executeLoad(const isa::Inst &inst);
     void executeStore(const isa::Inst &inst);
@@ -195,6 +231,7 @@ class Core : public sim::SimObject
     Params params_;
     CoreId core_id_;
     const isa::Program &prog_;
+    isa::DecodedProgram decoded_; //!< per-pc execution classes
     mem::L1Cache &l1_;
     std::uint32_t num_cores_;
     SpecInterface *spec_ = nullptr;
@@ -208,7 +245,16 @@ class Core : public sim::SimObject
     std::uint64_t squash_gen_ = 0; //!< invalidates in-flight callbacks
     bool amo_in_flight_ = false;
 
-    sim::EventFunctionWrapper tick_event_;
+    // Idle-sleep bookkeeping (why and since when the core is asleep)
+    // and the single outstanding memory access's writeback state.  Both
+    // are single slots: the in-order core never has two waits or two
+    // accesses in flight, and a squash invalidates them via squash_gen_.
+    StallReason sleep_reason_ = StallReason::NumReasons;
+    Tick sleep_begin_ = 0;
+    isa::RegId pending_rd_ = 0;
+    Tick pending_begin_ = 0;
+
+    TickEvent tick_event_;
     std::function<void()> halt_cb_;
 
     statistics::Scalar &stat_instructions_;

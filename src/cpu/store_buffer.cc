@@ -178,9 +178,11 @@ StoreBuffer::issueNext()
         req.store_data = e->data;
         req.spec = e->spec;
         req.spec_epoch = e->spec_epoch;
-        req.callback = [this, seq = e->seq](std::uint64_t) {
-            complete(seq);
+        req.done_fn = [](void *obj, std::uint64_t seq, std::uint64_t) {
+            static_cast<StoreBuffer *>(obj)->complete(seq);
         };
+        req.done_obj = this;
+        req.done_ctx = e->seq;
         l1_.access(std::move(req));
     }
 }
@@ -216,7 +218,7 @@ StoreBuffer::issuePrefetches()
         req.op = mem::MemOp::PrefetchEx;
         req.addr = e.addr;
         req.size = e.size;
-        req.callback = [](std::uint64_t) {};
+        req.done_fn = [](void *, std::uint64_t, std::uint64_t) {};
         l1_.access(std::move(req));
     }
 }

@@ -1,0 +1,57 @@
+#include "isa/decoded.hh"
+
+namespace fenceless::isa
+{
+
+ExecClass
+classify(Op op)
+{
+    switch (op) {
+      case Op::Add: case Op::Sub: case Op::And: case Op::Or:
+      case Op::Xor: case Op::Sll: case Op::Srl: case Op::Sra:
+      case Op::Slt: case Op::Sltu: case Op::Mul: case Op::Divu:
+      case Op::Remu:
+        return ExecClass::AluReg;
+      case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
+      case Op::Slli: case Op::Srli: case Op::Srai: case Op::Slti:
+      case Op::Sltiu:
+        return ExecClass::AluImm;
+      case Op::Li:
+        return ExecClass::Li;
+      case Op::Load:
+        return ExecClass::Load;
+      case Op::Store:
+        return ExecClass::Store;
+      case Op::AmoSwap: case Op::AmoAdd: case Op::AmoCas:
+        return ExecClass::Amo;
+      case Op::Fence:
+        return ExecClass::Fence;
+      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
+      case Op::Bltu: case Op::Bgeu:
+        return ExecClass::Branch;
+      case Op::Jal:
+        return ExecClass::Jal;
+      case Op::Jalr:
+        return ExecClass::Jalr;
+      case Op::CsrRead:
+        return ExecClass::CsrRead;
+      case Op::Halt:
+        return ExecClass::Halt;
+      case Op::Nop:
+        return ExecClass::Nop;
+      case Op::Pause:
+        return ExecClass::Pause;
+    }
+    return ExecClass::Nop; // unreachable
+}
+
+void
+DecodedProgram::rebuild(const Program &prog)
+{
+    classes_.clear();
+    classes_.reserve(prog.code.size());
+    for (const Inst &inst : prog.code)
+        classes_.push_back(classify(inst.op));
+}
+
+} // namespace fenceless::isa

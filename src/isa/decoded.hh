@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Pre-decoded execution classes for the hot dispatch loops.
+ *
+ * Instructions are already stored decoded (isa::Inst), but both the
+ * timing core and the functional interpreter still classified every Op
+ * on every dynamic step: the ~40-way Op switch re-derives "this is an
+ * ALU register op" for the same static instruction millions of times.
+ * A DecodedProgram collapses each static instruction to one of ~14
+ * dense ExecClass values once, at program load, so the per-step
+ * dispatch becomes a small dense jump table and the operand-form
+ * distinction (register vs immediate second operand) is pre-resolved.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/program.hh"
+
+namespace fenceless::isa
+{
+
+/** What a step of this instruction does, with operand form resolved. */
+enum class ExecClass : std::uint8_t
+{
+    AluReg,  //!< rd <- aluOp(op, rs1, rs2)
+    AluImm,  //!< rd <- aluOp(op, rs1, imm)
+    Li,      //!< rd <- imm
+    Load,
+    Store,
+    Amo,
+    Fence,
+    Branch,  //!< conditional; target in imm
+    Jal,
+    Jalr,
+    CsrRead,
+    Halt,
+    Nop,
+    Pause,
+};
+
+/** Map one opcode to its execution class. */
+ExecClass classify(Op op);
+
+/**
+ * Per-instruction execution classes for one Program.  Built once at
+ * construction; valid as long as the program's code vector is not
+ * resized (programs are immutable once assembled).
+ */
+class DecodedProgram
+{
+  public:
+    DecodedProgram() = default;
+    explicit DecodedProgram(const Program &prog) { rebuild(prog); }
+
+    void rebuild(const Program &prog);
+
+    ExecClass cls(std::uint64_t pc) const { return classes_[pc]; }
+
+  private:
+    std::vector<ExecClass> classes_;
+};
+
+} // namespace fenceless::isa

@@ -194,10 +194,10 @@ branchTaken(Op op, std::uint64_t a, std::uint64_t b)
 }
 
 std::uint64_t
-amoApply(const Inst &inst, std::uint64_t old_value, std::uint64_t rs2_value,
-         std::uint64_t rs3_value)
+amoApplyOp(Op op, std::uint64_t old_value, std::uint64_t rs2_value,
+           std::uint64_t rs3_value)
 {
-    switch (inst.op) {
+    switch (op) {
       case Op::AmoSwap:
         return rs2_value;
       case Op::AmoAdd:
@@ -205,8 +205,15 @@ amoApply(const Inst &inst, std::uint64_t old_value, std::uint64_t rs2_value,
       case Op::AmoCas:
         return old_value == rs2_value ? rs3_value : old_value;
       default:
-        panic("amoApply on non-AMO opcode ", opName(inst.op));
+        panic("amoApply on non-AMO opcode ", opName(op));
     }
+}
+
+std::uint64_t
+amoApply(const Inst &inst, std::uint64_t old_value, std::uint64_t rs2_value,
+         std::uint64_t rs3_value)
+{
+    return amoApplyOp(inst.op, old_value, rs2_value, rs3_value);
 }
 
 } // namespace fenceless::isa

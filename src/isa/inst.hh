@@ -156,4 +156,9 @@ bool branchTaken(Op op, std::uint64_t a, std::uint64_t b);
 std::uint64_t amoApply(const Inst &inst, std::uint64_t old_value,
                        std::uint64_t rs2_value, std::uint64_t rs3_value);
 
+/** Opcode-only form of amoApply, for callers that pre-read operands. */
+std::uint64_t amoApplyOp(Op op, std::uint64_t old_value,
+                         std::uint64_t rs2_value,
+                         std::uint64_t rs3_value);
+
 } // namespace fenceless::isa

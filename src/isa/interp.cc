@@ -23,41 +23,40 @@ Interpreter::step(ThreadContext &tc, std::uint64_t cycle)
     const Inst &inst = prog_.code[tc.pc];
     std::uint64_t next_pc = tc.pc + 1;
 
-    switch (inst.op) {
-      case Op::Add: case Op::Sub: case Op::And: case Op::Or: case Op::Xor:
-      case Op::Sll: case Op::Srl: case Op::Sra: case Op::Slt:
-      case Op::Sltu: case Op::Mul: case Op::Divu: case Op::Remu:
+    // Dispatch on the pre-decoded execution class (computed once per
+    // static instruction at construction) instead of re-classifying
+    // the ~40-way opcode space on every dynamic step.
+    switch (decoded_.cls(tc.pc)) {
+      case ExecClass::AluReg:
         tc.setReg(inst.rd,
                   aluOp(inst.op, tc.reg(inst.rs1), tc.reg(inst.rs2)));
         break;
 
-      case Op::Addi: case Op::Andi: case Op::Ori: case Op::Xori:
-      case Op::Slli: case Op::Srli: case Op::Srai: case Op::Slti:
-      case Op::Sltiu:
+      case ExecClass::AluImm:
         tc.setReg(inst.rd,
                   aluOp(inst.op, tc.reg(inst.rs1),
                         static_cast<std::uint64_t>(inst.imm)));
         break;
 
-      case Op::Li:
+      case ExecClass::Li:
         tc.setReg(inst.rd, static_cast<std::uint64_t>(inst.imm));
         break;
 
-      case Op::Load: {
+      case ExecClass::Load: {
         const Addr addr = tc.reg(inst.rs1) + inst.imm;
         flAssert(addr % inst.size == 0, "misaligned load @", addr);
         tc.setReg(inst.rd, mem_.readInt(addr, inst.size));
         break;
       }
 
-      case Op::Store: {
+      case ExecClass::Store: {
         const Addr addr = tc.reg(inst.rs1) + inst.imm;
         flAssert(addr % inst.size == 0, "misaligned store @", addr);
         mem_.writeInt(addr, inst.size, tc.reg(inst.rs2));
         break;
       }
 
-      case Op::AmoSwap: case Op::AmoAdd: case Op::AmoCas: {
+      case ExecClass::Amo: {
         const Addr addr = tc.reg(inst.rs1);
         flAssert(addr % inst.size == 0, "misaligned AMO @", addr);
         const std::uint64_t old_v = mem_.readInt(addr, inst.size);
@@ -68,26 +67,25 @@ Interpreter::step(ThreadContext &tc, std::uint64_t cycle)
         break;
       }
 
-      case Op::Fence:
+      case ExecClass::Fence:
         break; // no functional effect
 
-      case Op::Beq: case Op::Bne: case Op::Blt: case Op::Bge:
-      case Op::Bltu: case Op::Bgeu:
+      case ExecClass::Branch:
         if (branchTaken(inst.op, tc.reg(inst.rs1), tc.reg(inst.rs2)))
             next_pc = static_cast<std::uint64_t>(inst.imm);
         break;
 
-      case Op::Jal:
+      case ExecClass::Jal:
         tc.setReg(inst.rd, tc.pc + 1);
         next_pc = static_cast<std::uint64_t>(inst.imm);
         break;
 
-      case Op::Jalr:
+      case ExecClass::Jalr:
         tc.setReg(inst.rd, tc.pc + 1);
         next_pc = tc.reg(inst.rs1) + inst.imm;
         break;
 
-      case Op::CsrRead:
+      case ExecClass::CsrRead:
         switch (inst.csr) {
           case Csr::Tid:
             tc.setReg(inst.rd, tc.tid);
@@ -104,13 +102,13 @@ Interpreter::step(ThreadContext &tc, std::uint64_t cycle)
         }
         break;
 
-      case Op::Halt:
+      case ExecClass::Halt:
         tc.halted = true;
         ++tc.instret;
         return false;
 
-      case Op::Nop:
-      case Op::Pause:
+      case ExecClass::Nop:
+      case ExecClass::Pause:
         break;
     }
 

@@ -18,6 +18,7 @@
 #include "base/flat_memory.hh"
 #include "base/random.hh"
 #include "base/types.hh"
+#include "isa/decoded.hh"
 #include "isa/program.hh"
 
 namespace fenceless::isa
@@ -60,7 +61,7 @@ class Interpreter
   public:
     Interpreter(const Program &prog, FlatMemory &mem,
                 std::uint32_t num_cores)
-        : prog_(prog), mem_(mem), num_cores_(num_cores)
+        : prog_(prog), decoded_(prog), mem_(mem), num_cores_(num_cores)
     {}
 
     /**
@@ -74,6 +75,7 @@ class Interpreter
 
   private:
     const Program &prog_;
+    DecodedProgram decoded_; //!< per-pc execution classes
     FlatMemory &mem_;
     std::uint32_t num_cores_;
 };

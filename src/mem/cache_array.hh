@@ -20,13 +20,58 @@
 namespace fenceless::mem
 {
 
+/**
+ * A view of one block's payload inside the owning CacheArray's arena.
+ *
+ * Blocks do not own their storage: a cache array holds one contiguous
+ * allocation for all of its blocks and binds each block's view into it
+ * at construction.  This keeps building a cache to a single allocation
+ * (and a single memset) instead of one heap allocation per block, which
+ * dominates System construction cost when models are built frequently.
+ */
+class BlockData
+{
+  public:
+    void
+    bind(std::uint8_t *ptr, std::uint32_t len)
+    {
+        ptr_ = ptr;
+        len_ = len;
+    }
+
+    std::size_t size() const { return len_; }
+    std::uint8_t *data() { return ptr_; }
+    const std::uint8_t *data() const { return ptr_; }
+
+    /** Copy a full payload in (sizes must match). */
+    BlockData &
+    operator=(const std::vector<std::uint8_t> &v)
+    {
+        flAssert(v.size() == len_, "block payload size mismatch");
+        std::memcpy(ptr_, v.data(), len_);
+        return *this;
+    }
+
+    bool
+    operator==(const BlockData &o) const
+    {
+        return len_ == o.len_ &&
+               std::memcmp(ptr_, o.ptr_, len_) == 0;
+    }
+    bool operator!=(const BlockData &o) const { return !(*this == o); }
+
+  private:
+    std::uint8_t *ptr_ = nullptr;
+    std::uint32_t len_ = 0;
+};
+
 /** State common to all cache blocks. */
 struct CacheBlockBase
 {
     Addr block_addr = invalid_addr; //!< aligned address of cached block
     bool valid = false;
     std::uint64_t use_stamp = 0;    //!< monotonic LRU stamp
-    std::vector<std::uint8_t> data;
+    BlockData data;                 //!< payload view into the arena
 
     std::uint64_t
     readInt(Addr offset, unsigned size) const
@@ -68,8 +113,11 @@ class CacheArray
         flAssert(isPowerOf2(num_sets_), "number of sets must be a power "
                  "of 2 (got ", num_sets_, ")");
         blocks_.resize(num_sets_ * assoc_);
-        for (auto &b : blocks_)
-            b.data.assign(block_size_, 0);
+        arena_.assign(blocks_.size()
+                      * static_cast<std::uint64_t>(block_size_), 0);
+        for (std::size_t i = 0; i < blocks_.size(); ++i)
+            blocks_[i].data.bind(arena_.data() + i * block_size_,
+                                 block_size_);
     }
 
     unsigned blockSize() const { return block_size_; }
@@ -168,6 +216,7 @@ class CacheArray
     std::uint64_t num_sets_ = 0;
     std::uint64_t stamp_ = 0;
     std::vector<BlockT> blocks_;
+    std::vector<std::uint8_t> arena_; //!< backing store for all payloads
 };
 
 } // namespace fenceless::mem

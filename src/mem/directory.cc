@@ -513,7 +513,7 @@ Directory::dramWriteback(L2Block &blk)
 
 void
 Directory::sendToL1(MsgType type, NodeId dst, Addr block_addr,
-                    const std::vector<std::uint8_t> *data,
+                    const std::uint8_t *data,
                     std::uint64_t req_id)
 {
     Msg msg;
@@ -523,7 +523,7 @@ Directory::sendToL1(MsgType type, NodeId dst, Addr block_addr,
     msg.block_addr = block_addr;
     msg.req_id = req_id;
     if (data)
-        msg.data = *data;
+        msg.data.assign(data, data + array_.blockSize());
     network_.send(std::move(msg));
 }
 
@@ -531,7 +531,7 @@ void
 Directory::sendData(MsgType type, NodeId dst, const L2Block &blk,
                     std::uint64_t req_id)
 {
-    sendToL1(type, dst, blk.block_addr, &blk.data, req_id);
+    sendToL1(type, dst, blk.block_addr, blk.data.data(), req_id);
 }
 
 std::uint64_t

@@ -136,7 +136,7 @@ class Directory : public sim::SimObject, public MsgReceiver
     void handleWbClean(const Msg &msg);
 
     void sendToL1(MsgType type, NodeId dst, Addr block_addr,
-                  const std::vector<std::uint8_t> *data = nullptr,
+                  const std::uint8_t *data = nullptr,
                   std::uint64_t req_id = 0);
     void sendData(MsgType type, NodeId dst, const L2Block &blk,
                   std::uint64_t req_id = 0);

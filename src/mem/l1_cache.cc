@@ -189,11 +189,14 @@ L1Cache::access(MemRequest req)
       case MemOp::PrefetchEx: ++stat_prefetches_; break;
     }
 
-    // Queue behind an outstanding miss to the same block.
-    auto it = mshrs_.find(block_addr);
-    if (it != mshrs_.end()) {
-        it->second.waiting.push_back(std::move(req));
-        return;
+    // Queue behind an outstanding miss to the same block.  The map
+    // lookup is skipped entirely in the common no-outstanding-miss case.
+    if (!mshrs_.empty()) {
+        auto it = mshrs_.find(block_addr);
+        if (it != mshrs_.end()) {
+            it->second.waiting.push_back(std::move(req));
+            return;
+        }
     }
 
     L1Block *blk = array_.find(req.addr);
@@ -219,7 +222,7 @@ L1Cache::access(MemRequest req)
         ++stat_hits_;
         array_.touch(*blk);
         if (req.isPrefetch())
-            respond(std::move(req), 0);
+            respond(req, 0);
         else
             performWrite(*blk, req);
         return;
@@ -280,7 +283,7 @@ L1Cache::performWrite(L1Block &blk, MemRequest &req)
     // An ownership prefetch only wanted the M-state fill; the data is
     // untouched and no speculation tag is set.
     if (req.isPrefetch()) {
-        respond(std::move(req), 0);
+        respond(req, 0);
         return;
     }
 
@@ -289,7 +292,7 @@ L1Cache::performWrite(L1Block &blk, MemRequest &req)
     // already resumed from its checkpoint.  Complete it as a no-op (the
     // store buffer / core ignore stale completions).
     if (req.spec && !specLive(req)) {
-        respond(std::move(req), 0);
+        respond(req, 0);
         return;
     }
 
@@ -302,7 +305,7 @@ L1Cache::performWrite(L1Block &blk, MemRequest &req)
         // to the L2 so rollback can recover it.  FIFO ordering on our
         // channel to the directory guarantees it lands before any later
         // FwdNoDataAck we might send for this block.
-        sendToDir(MsgType::WbClean, blk.block_addr, &blk.data);
+        sendToDir(MsgType::WbClean, blk.block_addr, blk.data.data());
         blk.dirty = false;
         ++stat_wb_clean_;
     }
@@ -318,9 +321,9 @@ L1Cache::performWrite(L1Block &blk, MemRequest &req)
     std::uint64_t old_value = 0;
     if (req.isAmo()) {
         old_value = blk.readInt(offset, req.size);
-        flAssert(static_cast<bool>(req.amo_func),
-                 name(), ": AMO request without amo_func");
-        blk.writeInt(offset, req.size, req.amo_func(old_value));
+        flAssert(req.amo_fn || static_cast<bool>(req.amo_func),
+                 name(), ": AMO request without an AMO function");
+        blk.writeInt(offset, req.size, req.applyAmo(old_value));
     } else {
         blk.writeInt(offset, req.size, req.store_data);
     }
@@ -336,8 +339,25 @@ L1Cache::performWrite(L1Block &blk, MemRequest &req)
 }
 
 void
-L1Cache::respond(MemRequest req, std::uint64_t value)
+L1Cache::respond(MemRequest &req, std::uint64_t value)
 {
+    // Fast path: the bound completion slot makes the delivery one-shot
+    // a POD closure -- it fits the pool node's inline storage and is
+    // trivially destructible, so an L1 hit allocates nothing at all.
+    if (req.done_fn) {
+        struct Deliver
+        {
+            MemRequest::DoneFn fn;
+            void *obj;
+            std::uint64_t ctx;
+            std::uint64_t value;
+            void operator()() const { fn(obj, ctx, value); }
+        };
+        sim::scheduleOneShot(eventq(), curTick() + params_.hit_latency,
+                             Deliver{req.done_fn, req.done_obj,
+                                     req.done_ctx, value});
+        return;
+    }
     flAssert(static_cast<bool>(req.callback),
              name(), ": request without completion callback");
     sim::scheduleOneShot(eventq(), curTick() + params_.hit_latency,
@@ -510,8 +530,9 @@ L1Cache::evict(L1Block &victim)
         // silently upgraded, and the directory cannot tell.
         wb.state = WbEntry::State::MIA;
         wb.has_data = true;
-        wb.data = victim.data;
-        sendToDir(MsgType::PutM, victim.block_addr, &victim.data);
+        wb.data.assign(victim.data.data(),
+                       victim.data.data() + victim.data.size());
+        sendToDir(MsgType::PutM, victim.block_addr, victim.data.data());
         break;
       case L1State::MStale:
         wb.state = WbEntry::State::MIA;
@@ -662,7 +683,8 @@ L1Cache::handleFwd(const Msg &msg)
                  "array copy of 0x", std::hex, msg.block_addr,
                  std::dec, " exists");
         if (wb->state == WbEntry::State::MIA && wb->has_data) {
-            sendToDir(MsgType::FwdDataAck, msg.block_addr, &wb->data);
+            sendToDir(MsgType::FwdDataAck, msg.block_addr,
+                      wb->data.data());
         } else {
             sendToDir(MsgType::FwdNoDataAck, msg.block_addr);
         }
@@ -677,7 +699,8 @@ L1Cache::handleFwd(const Msg &msg)
     if (it != mshrs_.end() && it->second.fill_pending) {
         Mshr &mshr = it->second;
         ++stat_fill_retries_;
-        sendToDir(MsgType::FwdDataAck, msg.block_addr, &mshr.fill.data);
+        sendToDir(MsgType::FwdDataAck, msg.block_addr,
+                  mshr.fill.data.data());
         mshr.fill_pending = false;
         mshr.fill_blocked = false;
         sendToDir(mshr.want_m ? MsgType::GetM : MsgType::GetS,
@@ -706,7 +729,7 @@ L1Cache::handleFwd(const Msg &msg)
              name(), ": ", msgTypeName(msg.type), " in state ",
              l1StateName(blk->state));
 
-    sendToDir(MsgType::FwdDataAck, msg.block_addr, &blk->data);
+    sendToDir(MsgType::FwdDataAck, msg.block_addr, blk->data.data());
     if (msg.type == MsgType::FwdGetS) {
         blk->state = L1State::S;
         blk->dirty = false; // directory updates the L2 copy
@@ -736,7 +759,7 @@ L1Cache::handlePutAck(const Msg &msg)
 
 void
 L1Cache::sendToDir(MsgType type, Addr block_addr,
-                   const std::vector<std::uint8_t> *data,
+                   const std::uint8_t *data,
                    std::uint64_t req_id)
 {
     Msg msg;
@@ -746,7 +769,7 @@ L1Cache::sendToDir(MsgType type, Addr block_addr,
     msg.block_addr = block_addr;
     msg.req_id = req_id;
     if (data)
-        msg.data = *data;
+        msg.data.assign(data, data + array_.blockSize());
     network_.send(std::move(msg));
 }
 

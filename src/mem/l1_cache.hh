@@ -212,7 +212,7 @@ class L1Cache : public sim::SimObject, public MsgReceiver
     void handleMiss(MemRequest req, bool want_m);
     void performLoad(L1Block &blk, MemRequest &req);
     void performWrite(L1Block &blk, MemRequest &req);
-    void respond(MemRequest req, std::uint64_t value);
+    void respond(MemRequest &req, std::uint64_t value);
 
     // fill path
     void handleData(const Msg &msg);
@@ -237,7 +237,7 @@ class L1Cache : public sim::SimObject, public MsgReceiver
 
     // messaging
     void sendToDir(MsgType type, Addr block_addr,
-                   const std::vector<std::uint8_t> *data = nullptr,
+                   const std::uint8_t *data = nullptr,
                    std::uint64_t req_id = 0);
 
     Params params_;

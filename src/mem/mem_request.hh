@@ -24,21 +24,55 @@ enum class MemOp : std::uint8_t
 /**
  * One memory access presented to the L1.
  *
- * The L1 completes a request asynchronously by invoking @ref callback with
- * the loaded value (the *old* value for AMOs, unused for stores).  For
- * AMOs, @ref amo_func computes the new memory value from the old one;
- * this keeps the memory system independent of ISA details.
+ * The L1 completes a request asynchronously by invoking its completion
+ * callback with the loaded value (the *old* value for AMOs, unused for
+ * stores).  Two callback forms exist:
+ *
+ *  - The *bound slot* (@ref done_fn / @ref done_obj / @ref done_ctx): a
+ *    plain function pointer plus a receiver object and one word of
+ *    context.  This is the hot path -- building it allocates nothing,
+ *    and the L1's response one-shot stays a trivially-destructible POD
+ *    closure.  The issuer keeps any per-request state (destination
+ *    register, issue tick) in the receiver object; @ref done_ctx
+ *    typically carries a generation or sequence number so stale
+ *    responses can be recognised.
+ *  - The legacy @ref callback std::function, kept for tests and
+ *    cold-path users.  Used only when @ref done_fn is null.
+ *
+ * AMOs analogously come in two forms: the raw @ref amo_fn function
+ * pointer applied to (@ref amo_sel, old, @ref amo_a, @ref amo_b), or
+ * the legacy @ref amo_func closure.  Both keep the memory system
+ * independent of ISA details.
  */
 struct MemRequest
 {
+    /** Bound completion: fn(obj, ctx, loaded_value). */
+    using DoneFn = void (*)(void *obj, std::uint64_t ctx,
+                            std::uint64_t value);
+
+    /** Raw AMO: new_value = fn(sel, old_value, a, b). */
+    using AmoFn = std::uint64_t (*)(std::uint8_t sel,
+                                    std::uint64_t old_value,
+                                    std::uint64_t a, std::uint64_t b);
+
     MemOp op = MemOp::Load;
     Addr addr = 0;
     std::uint8_t size = 8;
     std::uint64_t store_data = 0;
-    std::function<std::uint64_t(std::uint64_t)> amo_func;
     bool spec = false; //!< access belongs to a speculative epoch
     std::uint32_t spec_epoch = 0; //!< epoch the access belongs to
-    std::function<void(std::uint64_t)> callback;
+
+    DoneFn done_fn = nullptr;
+    void *done_obj = nullptr;
+    std::uint64_t done_ctx = 0;
+
+    AmoFn amo_fn = nullptr;
+    std::uint8_t amo_sel = 0; //!< operation selector for amo_fn
+    std::uint64_t amo_a = 0;  //!< first AMO operand (e.g. rs2 value)
+    std::uint64_t amo_b = 0;  //!< second AMO operand (e.g. rs3 value)
+
+    std::function<std::uint64_t(std::uint64_t)> amo_func; //!< legacy
+    std::function<void(std::uint64_t)> callback;          //!< legacy
 
     bool isLoad() const { return op == MemOp::Load; }
     bool isStore() const { return op == MemOp::Store; }
@@ -47,6 +81,21 @@ struct MemRequest
 
     /** @return true if the access needs write (M) permission. */
     bool needsWrite() const { return op != MemOp::Load; }
+
+    /** @return true if either completion form is set. */
+    bool
+    hasCompletion() const
+    {
+        return done_fn != nullptr || static_cast<bool>(callback);
+    }
+
+    /** Apply the AMO function (either form) to @p old_value. */
+    std::uint64_t
+    applyAmo(std::uint64_t old_value) const
+    {
+        return amo_fn ? amo_fn(amo_sel, old_value, amo_a, amo_b)
+                      : amo_func(old_value);
+    }
 };
 
 /**

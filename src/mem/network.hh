@@ -61,7 +61,7 @@ class Network : public sim::SimObject
         {}
 
         void process() override;
-        std::string name() const override { return "net-delivery"; }
+        const char *name() const override { return "net-delivery"; }
 
         Network &network;
         Msg message;

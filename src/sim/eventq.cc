@@ -43,6 +43,36 @@ EventQueue::releaseOneShot(OneShot *ev)
 }
 
 void
+EventQueue::pushNear(Tick when, int priority, std::uint64_t stamp,
+                     Event *ev)
+{
+    Bucket &b = buckets_[when & (bucket_window - 1)];
+    const NearEntry e{when, stamp, ev, priority};
+    // Entries are kept ascending by (priority, stamp) from head on;
+    // stamps grow monotonically, so a push at (or above) the current
+    // tail priority -- the overwhelmingly common uniform-priority case
+    // -- is a plain append.  A bucket may also hold stale leftovers of
+    // a lapped tick; they take part in the ordering harmlessly (they
+    // are dropped when examined) and never need to be stepped over
+    // here because the order is on (priority, stamp) alone.
+    const auto before = [](const NearEntry &a, const NearEntry &x) {
+        if (a.priority != x.priority)
+            return a.priority < x.priority;
+        return a.stamp < x.stamp;
+    };
+    if (b.entries.empty() || !before(e, b.entries.back())) {
+        b.entries.push_back(e);
+    } else {
+        auto pos = std::lower_bound(b.entries.begin() + b.head,
+                                    b.entries.end(), e, before);
+        b.entries.insert(pos, e);
+    }
+    ++near_count_;
+    if (when < next_hint_)
+        next_hint_ = when;
+}
+
+void
 EventQueue::schedule(Event *ev, Tick when)
 {
     flAssert(ev != nullptr, "scheduling a null event");
@@ -54,7 +84,10 @@ EventQueue::schedule(Event *ev, Tick when)
     ev->when_ = when;
     ev->stamp_ = next_stamp_++;
     ev->scheduled_ = true;
-    queue_.push(Entry{when, ev->priority_, ev->stamp_, ev});
+    if (when - cur_tick_ < bucket_window)
+        pushNear(when, ev->priority_, ev->stamp_, ev);
+    else
+        far_.push(Entry{when, ev->priority_, ev->stamp_, ev});
     ++num_scheduled_;
 }
 
@@ -64,7 +97,7 @@ EventQueue::deschedule(Event *ev)
     flAssert(ev != nullptr, "descheduling a null event");
     if (!ev->scheduled_)
         return;
-    // Lazy removal: the stale heap entry is skipped when popped.
+    // Lazy removal: the stale queue entry is skipped when examined.
     ev->scheduled_ = false;
     --num_scheduled_;
 }
@@ -76,24 +109,92 @@ EventQueue::reschedule(Event *ev, Tick when)
     schedule(ev, when);
 }
 
+EventQueue::NextWhere
+EventQueue::findNext(Tick &when_out)
+{
+    // Surface the far heap's live top and migrate every far entry that
+    // has entered the near window, so the bucket scan below sees the
+    // complete (when, priority, stamp) order.
+    for (;;) {
+        if (far_.empty())
+            break;
+        const Entry &top = far_.top();
+        if (!top.event->scheduled_ || top.event->stamp_ != top.stamp) {
+            far_.pop();
+            ++stale_pops_;
+            continue;
+        }
+        if (top.when - cur_tick_ >= bucket_window)
+            break;
+        pushNear(top.when, top.priority, top.stamp, top.event);
+        far_.pop();
+    }
+
+    if (near_count_ > 0) {
+        Tick t = next_hint_ > cur_tick_ ? next_hint_ : cur_tick_;
+        for (; t - cur_tick_ < bucket_window; ++t) {
+            Bucket &b = buckets_[t & (bucket_window - 1)];
+            while (b.head < b.entries.size()) {
+                const NearEntry &e = b.entries[b.head];
+                // Live iff the event is still scheduled, this is the
+                // scheduling that created the entry (stamp matches),
+                // and the entry is not a leftover of a lapped tick.
+                if (e.when == t && e.event->scheduled_ &&
+                    e.event->stamp_ == e.stamp) {
+                    next_hint_ = t;
+                    when_out = t;
+                    return NextWhere::Near;
+                }
+                ++b.head;
+                --near_count_;
+                ++stale_pops_;
+                if (b.head == b.entries.size()) {
+                    b.entries.clear();
+                    b.head = 0;
+                }
+            }
+            if (near_count_ == 0)
+                break;
+        }
+        // No live entry anywhere in the window.
+        next_hint_ = cur_tick_ + bucket_window;
+    }
+
+    if (far_.empty())
+        return NextWhere::None;
+    when_out = far_.top().when; // live: pruned above
+    return NextWhere::Far;
+}
+
 Event *
 EventQueue::popLive()
 {
-    while (!queue_.empty()) {
-        const Entry top = queue_.top();
-        queue_.pop();
-        Event *ev = top.event;
-        // An entry is live iff the event is still scheduled *and* this is
-        // the scheduling that created the entry (stamp matches).
-        if (ev->scheduled_ && ev->stamp_ == top.stamp) {
-            flAssert(top.when >= cur_tick_, "event time went backwards");
-            cur_tick_ = top.when;
-            ev->scheduled_ = false;
-            --num_scheduled_;
-            return ev;
+    Tick when = 0;
+    const NextWhere where = findNext(when);
+    if (where == NextWhere::None)
+        return nullptr;
+
+    flAssert(when >= cur_tick_, "event time went backwards");
+    Event *ev = nullptr;
+    if (where == NextWhere::Near) {
+        Bucket &b = buckets_[when & (bucket_window - 1)];
+        ev = b.entries[b.head].event;
+        ++b.head;
+        --near_count_;
+        ++near_pops_;
+        if (b.head == b.entries.size()) {
+            b.entries.clear();
+            b.head = 0;
         }
+    } else {
+        ev = far_.top().event;
+        far_.pop();
+        ++far_pops_;
     }
-    return nullptr;
+    cur_tick_ = when;
+    ev->scheduled_ = false;
+    --num_scheduled_;
+    return ev;
 }
 
 bool
@@ -111,16 +212,13 @@ EventQueue::run(Tick max_tick)
 {
     while (num_scheduled_ > 0) {
         // Peek at the next live event without firing it if it is beyond
-        // the horizon.
-        while (!queue_.empty()) {
-            const Entry &top = queue_.top();
-            if (top.event->scheduled_ && top.event->stamp_ == top.stamp)
-                break;
-            queue_.pop();
-        }
-        if (queue_.empty())
+        // the horizon.  The peek leaves it at the front of its bucket
+        // (or the far top), so the popLive() inside step() re-finds it
+        // in O(1) via next_hint_.
+        Tick when = 0;
+        if (findNext(when) == NextWhere::None)
             break;
-        if (queue_.top().when > max_tick) {
+        if (when > max_tick) {
             cur_tick_ = max_tick;
             return cur_tick_;
         }

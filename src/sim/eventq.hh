@@ -3,9 +3,21 @@
  * The discrete-event queue at the heart of the simulator.
  *
  * Determinism: events scheduled for the same tick fire in (priority,
- * insertion-sequence) order, so a run is reproducible regardless of heap
+ * insertion-sequence) order, so a run is reproducible regardless of queue
  * internals.  Descheduling is lazy: a cancelled or rescheduled entry is
- * recognised as stale when popped and skipped.
+ * recognised as stale when popped and skipped (counted in stalePops()).
+ *
+ * The queue is a two-level calendar queue.  Nearly every event a cycle-
+ * accurate simulator schedules lands within a few ticks of "now" (core
+ * ticks at +1, cache hits at +hit_latency, network hops at +latency), so
+ * the near future -- a circular window of @ref bucket_window per-tick
+ * buckets -- gets O(1) push and pop.  Each bucket keeps its entries
+ * sorted by (priority, stamp); with uniform priorities (the common case)
+ * an insert is a plain append.  Events beyond the window overflow into a
+ * binary heap (the far queue) and migrate into the buckets as the
+ * current tick approaches them, so the exact (when, priority, stamp)
+ * total order of the old single-heap implementation is preserved
+ * bit-for-bit.
  *
  * One-shot events -- the unbounded fire-and-forget callbacks used for
  * cache responses and message deliveries -- are the hottest allocation
@@ -17,6 +29,8 @@
 
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -64,8 +78,14 @@ class Event
     /** Called when the event fires. */
     virtual void process() = 0;
 
-    /** Descriptive name for debugging. */
-    virtual std::string name() const { return "event"; }
+    /**
+     * Descriptive name for debugging.  Returns a borrowed pointer (valid
+     * for the lifetime of the event) rather than a std::string by value:
+     * scheduling-path assertions evaluate their arguments eagerly, so a
+     * string-building name() would construct and destroy a string on
+     * every schedule() even though the message is only used on failure.
+     */
+    virtual const char *name() const { return "event"; }
 
     bool scheduled() const { return scheduled_; }
     Tick when() const { return when_; }
@@ -94,7 +114,7 @@ class EventFunctionWrapper : public Event
     }
 
     void process() override { callback_(); }
-    std::string name() const override { return name_; }
+    const char *name() const override { return name_.c_str(); }
 
   private:
     std::function<void()> callback_;
@@ -131,7 +151,10 @@ class OneShotFn
                       alignof(D) <= alignof(std::max_align_t)) {
             ::new (static_cast<void *>(storage_)) D(std::forward<F>(fn));
             invoke_ = [](void *p) { (*static_cast<D *>(p))(); };
-            destroy_ = [](void *p) { static_cast<D *>(p)->~D(); };
+            if constexpr (std::is_trivially_destructible_v<D>)
+                destroy_ = nullptr;
+            else
+                destroy_ = [](void *p) { static_cast<D *>(p)->~D(); };
         } else {
             using Box = D *;
             ::new (static_cast<void *>(storage_))
@@ -150,11 +173,10 @@ class OneShotFn
     void
     clear()
     {
-        if (destroy_) {
+        if (destroy_)
             destroy_(storage_);
-            invoke_ = nullptr;
-            destroy_ = nullptr;
-        }
+        invoke_ = nullptr;
+        destroy_ = nullptr;
     }
 
   private:
@@ -173,6 +195,15 @@ class OneShotFn
 class EventQueue
 {
   public:
+    /**
+     * Width of the near-future calendar window, in ticks.  Power of two
+     * (bucket index is a mask).  Core ticks (+1), cache hits
+     * (+hit_latency) and network hops (+latency+serialization) all land
+     * well inside it; only long-horizon events (stat snapshots, parked
+     * retries under backpressure) overflow into the far heap.
+     */
+    static constexpr std::size_t bucket_window = 64;
+
     EventQueue() = default;
     ~EventQueue();
 
@@ -220,6 +251,20 @@ class EventQueue
     std::size_t oneShotNodesFree() const { return oneshot_free_count_; }
 
     /**
+     * Lazily-deleted entries skipped while looking for the next live
+     * event (descheduled/rescheduled leftovers in the buckets or the
+     * far heap).  A queue-health metric: it growing out of proportion
+     * with event volume means some component churns schedules.
+     */
+    std::uint64_t stalePops() const { return stale_pops_; }
+
+    /** Events popped from the near-future calendar buckets. */
+    std::uint64_t nearPops() const { return near_pops_; }
+
+    /** Events popped straight from the far (overflow) heap. */
+    std::uint64_t farPops() const { return far_pops_; }
+
+    /**
      * Run until the queue drains or @p max_tick is passed.
      * @return the final current tick.
      */
@@ -247,7 +292,7 @@ class EventQueue
             owner_.releaseOneShot(this);
         }
 
-        std::string name() const override { return "one-shot"; }
+        const char *name() const override { return "one-shot"; }
 
         detail::OneShotFn fn;
         OneShot *next_free = nullptr;
@@ -256,6 +301,7 @@ class EventQueue
         EventQueue &owner_;
     };
 
+    /** A far-heap entry (also the migration record). */
     struct Entry
     {
         Tick when;
@@ -277,8 +323,50 @@ class EventQueue
         }
     };
 
+    /**
+     * A near-window entry.  `when` is kept because a bucket can hold
+     * leftovers from a lapped tick (when == t - k*bucket_window) that
+     * are recognised and dropped as stale when examined.
+     */
+    struct NearEntry
+    {
+        Tick when;
+        std::uint64_t stamp;
+        Event *event;
+        int priority;
+    };
+
+    /**
+     * One calendar bucket: entries sorted ascending by (priority,
+     * stamp) from `head` on; the prefix before `head` has been popped.
+     * The vector is recycled (clear keeps capacity) once drained.
+     */
+    struct Bucket
+    {
+        std::vector<NearEntry> entries;
+        std::size_t head = 0;
+    };
+
+    /** Where findNext() located the next live event. */
+    enum class NextWhere : std::uint8_t
+    {
+        None, //!< queue drained (ignoring stale leftovers)
+        Near, //!< head of buckets_[when & mask]
+        Far,  //!< top of far_
+    };
+
+    /**
+     * Prune stale entries, migrate far entries that entered the window,
+     * and locate the earliest live event without popping it.
+     */
+    NextWhere findNext(Tick &when_out);
+
     /** Pop entries until a live one is found; nullptr when drained. */
     Event *popLive();
+
+    /** Insert into the calendar (when must be inside the window). */
+    void pushNear(Tick when, int priority, std::uint64_t stamp,
+                  Event *ev);
 
     /** Take a node from the free list, growing the pool if empty. */
     OneShot *acquireOneShot();
@@ -286,10 +374,23 @@ class EventQueue
     /** Park a fired node on the free list for reuse. */
     void releaseOneShot(OneShot *ev);
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+    std::array<Bucket, bucket_window> buckets_;
+    std::size_t near_count_ = 0; //!< entries physically in buckets
+    /**
+     * No live near entry exists at any tick < next_hint_.  Lets the
+     * bucket scan resume where the previous one stopped instead of
+     * re-walking empty buckets from cur_tick_ on every pop.
+     */
+    Tick next_hint_ = 0;
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> far_;
     Tick cur_tick_ = 0;
     std::uint64_t next_stamp_ = 1;
     std::size_t num_scheduled_ = 0;
+
+    std::uint64_t stale_pops_ = 0;
+    std::uint64_t near_pops_ = 0;
+    std::uint64_t far_pops_ = 0;
 
     std::vector<std::unique_ptr<OneShot>> oneshot_nodes_; //!< ownership
     OneShot *oneshot_free_ = nullptr; //!< intrusive free list head

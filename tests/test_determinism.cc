@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Determinism guarantees of the simulation kernel.
+ *
+ * The calendar event queue, the L1 hit fast path, and the idle-core
+ * sleep protocol are all pure performance work: they must not change a
+ * single stat.  These tests pin that down three ways:
+ *
+ *  - the same configuration run twice produces byte-identical stats
+ *    JSON (covers bucket-vs-heap ordering and idle-sleep accounting);
+ *  - a host-parallel sweep produces the same per-task results
+ *    regardless of worker count;
+ *  - a randomized schedule/deschedule/reschedule stress confirms the
+ *    two-level queue fires events in exactly the documented
+ *    (when, priority, stamp) total order, near and far alike.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/random.hh"
+#include "harness/sweep.hh"
+#include "harness/system.hh"
+#include "sim/eventq.hh"
+#include "workload/microbench.hh"
+
+using namespace fenceless;
+
+namespace
+{
+
+/** Build, run, and render one system's full stats registry. */
+std::string
+runAndRenderStats(const harness::SystemConfig &cfg)
+{
+    workload::SpinlockCrit wl;
+    isa::Program prog = wl.build(cfg.num_cores);
+    harness::System sys(cfg, prog);
+    EXPECT_TRUE(sys.run());
+    std::ostringstream os;
+    sys.writeStatsJson(os);
+    return os.str();
+}
+
+/** Sum one scalar stat across all core groups. */
+double
+sumCoreStat(harness::System &sys, const std::string &stat)
+{
+    double total = 0;
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        const auto *group =
+            sys.stats().findGroup("core_" + std::to_string(i));
+        EXPECT_NE(group, nullptr);
+        const auto *s = group->find(stat);
+        EXPECT_NE(s, nullptr) << stat;
+        total += s->value();
+    }
+    return total;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// same config, same stats -- byte for byte
+// ---------------------------------------------------------------------
+
+TEST(Determinism, SameConfigTwiceByteIdenticalBaseline)
+{
+    harness::SystemConfig cfg;
+    cfg.num_cores = 4;
+    cfg.model = cpu::ConsistencyModel::TSO;
+    const std::string first = runAndRenderStats(cfg);
+    const std::string second = runAndRenderStats(cfg);
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, SameConfigTwiceByteIdenticalSpeculative)
+{
+    harness::SystemConfig cfg;
+    cfg.num_cores = 4;
+    cfg.model = cpu::ConsistencyModel::TSO;
+    cfg.withSpeculation();
+    const std::string first = runAndRenderStats(cfg);
+    const std::string second = runAndRenderStats(cfg);
+    EXPECT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+}
+
+TEST(Determinism, SameConfigTwiceByteIdenticalSC)
+{
+    // SC stalls on every ordering point, so this leans hardest on the
+    // idle-sleep bulk accounting.
+    harness::SystemConfig cfg;
+    cfg.num_cores = 2;
+    cfg.model = cpu::ConsistencyModel::SC;
+    const std::string first = runAndRenderStats(cfg);
+    const std::string second = runAndRenderStats(cfg);
+    EXPECT_EQ(first, second);
+}
+
+// ---------------------------------------------------------------------
+// sweep worker count must not leak into results
+// ---------------------------------------------------------------------
+
+TEST(Determinism, SweepJobsOneVsMany)
+{
+    auto make_tasks = [] {
+        std::vector<std::function<std::string()>> tasks;
+        for (std::uint32_t cores : {1u, 2u, 4u}) {
+            for (auto model : {cpu::ConsistencyModel::TSO,
+                               cpu::ConsistencyModel::SC}) {
+                tasks.push_back([cores, model]() -> std::string {
+                    harness::SystemConfig cfg;
+                    cfg.num_cores = cores;
+                    cfg.model = model;
+                    return runAndRenderStats(cfg);
+                });
+            }
+        }
+        return tasks;
+    };
+
+    harness::SweepRunner serial(1);
+    harness::SweepRunner parallel(4);
+    const auto seq = serial.map(make_tasks());
+    const auto par = parallel.map(make_tasks());
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i)
+        EXPECT_EQ(seq[i], par[i]) << "task " << i;
+}
+
+// ---------------------------------------------------------------------
+// calendar queue vs the documented total order
+// ---------------------------------------------------------------------
+
+TEST(Determinism, CalendarQueueRandomizedOrdering)
+{
+    // Randomly schedule events near (inside the 64-tick bucket window)
+    // and far (overflow heap), with mixed priorities, then deschedule
+    // and reschedule a slice of them.  The fire order must match the
+    // (when, priority, stamp) total order, where stamp order is the
+    // order of the last (re)schedule call.
+    constexpr int num_events = 500;
+    sim::EventQueue eq;
+    Random rng(12345);
+
+    struct Fired
+    {
+        int id;
+        Tick when;
+    };
+    std::vector<Fired> fired;
+
+    std::deque<sim::EventFunctionWrapper> events;
+    std::vector<Tick> when(num_events, 0);
+    std::vector<int> pri(num_events, 0);
+    std::vector<std::uint64_t> seq(num_events, 0); // last schedule op
+    std::vector<bool> live(num_events, false);
+    std::uint64_t op = 0;
+
+    for (int id = 0; id < num_events; ++id) {
+        pri[id] = static_cast<int>(rng.range(0, 4)) * 25; // 0..100
+        events.emplace_back(
+            [id, &eq, &fired] { fired.push_back({id, eq.curTick()}); },
+            "determinism.rec", pri[id]);
+    }
+    for (int id = 0; id < num_events; ++id) {
+        // Mostly a dense band (near entries plus far entries that
+        // migrate into the window as time advances); every 50th event
+        // lands on a sparse tail with >64-tick gaps, which the queue
+        // must pop straight from the far heap (the time-jump path).
+        when[id] = (id % 50 == 49)
+            ? 10'000 + static_cast<Tick>(id) * 100
+            : 1 + rng.range(0, 199);
+        eq.schedule(&events[id], when[id]);
+        seq[id] = op++;
+        live[id] = true;
+    }
+    // Perturb: deschedule ~10%, reschedule ~30% (leaving stale
+    // entries for the pop path to skip).
+    for (int id = 0; id < num_events; ++id) {
+        const std::uint64_t roll = rng.range(0, 9);
+        if (roll == 0) {
+            eq.deschedule(&events[id]);
+            live[id] = false;
+        } else if (roll <= 3) {
+            when[id] = 1 + rng.range(0, 199);
+            eq.reschedule(&events[id], when[id]);
+            seq[id] = op++;
+        }
+    }
+
+    eq.run();
+
+    // Every live event fired exactly once; no descheduled event fired.
+    std::vector<int> count(num_events, 0);
+    for (const Fired &f : fired)
+        ++count[f.id];
+    for (int id = 0; id < num_events; ++id)
+        EXPECT_EQ(count[id], live[id] ? 1 : 0) << "event " << id;
+
+    // Fire order == sort by (when, priority, stamp).
+    std::vector<int> expected;
+    for (int id = 0; id < num_events; ++id) {
+        if (live[id])
+            expected.push_back(id);
+    }
+    std::sort(expected.begin(), expected.end(), [&](int a, int b) {
+        if (when[a] != when[b])
+            return when[a] < when[b];
+        if (pri[a] != pri[b])
+            return pri[a] < pri[b];
+        return seq[a] < seq[b];
+    });
+    ASSERT_EQ(fired.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(fired[i].id, expected[i]) << "position " << i;
+        EXPECT_EQ(fired[i].when, when[fired[i].id]);
+    }
+
+    // The stress actually exercised all three pop paths.
+    EXPECT_GT(eq.stalePops(), 0u);
+    EXPECT_GT(eq.nearPops(), 0u);
+    EXPECT_GT(eq.farPops(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// idle-sleep stall accounting
+// ---------------------------------------------------------------------
+
+TEST(Determinism, IdleSleepStallAccountingExercised)
+{
+    // A contended spinlock misses constantly, so cores spend most of
+    // their time asleep waiting on loads and atomics.  The bulk
+    // accounting must (a) be deterministic and (b) actually attribute
+    // the slept cycles.
+    harness::SystemConfig cfg;
+    cfg.num_cores = 4;
+    cfg.model = cpu::ConsistencyModel::TSO;
+    workload::SpinlockCrit wl;
+    isa::Program prog = wl.build(cfg.num_cores);
+    harness::System sys(cfg, prog);
+    ASSERT_TRUE(sys.run());
+
+    const double load_stalls = sumCoreStat(sys, "stall_load_access");
+    const double amo_stalls = sumCoreStat(sys, "stall_amo_access");
+    EXPECT_GT(load_stalls + amo_stalls, 0.0);
+
+    // A core cannot have stalled longer than it ran: per core, the
+    // accounted cycles (instructions + all stall reasons) must not
+    // exceed its halt tick.
+    for (std::uint32_t i = 0; i < sys.numCores(); ++i) {
+        const auto *group =
+            sys.stats().findGroup("core_" + std::to_string(i));
+        ASSERT_NE(group, nullptr);
+        double accounted = group->find("instructions")->value();
+        for (int r = 0;
+             r < static_cast<int>(cpu::StallReason::NumReasons); ++r) {
+            accounted += group
+                ->find(std::string("stall_") + cpu::stallReasonName(
+                           static_cast<cpu::StallReason>(r)))
+                ->value();
+        }
+        EXPECT_LE(accounted, group->find("halt_tick")->value() + 1)
+            << "core " << i;
+    }
+}
