@@ -73,6 +73,7 @@ struct RunResult
 struct RunOutcome
 {
     RunResult result;
+    prof::Profile profile; //!< empty unless cfg.profile was set
     std::string error;
 
     bool ok() const { return error.empty(); }
@@ -114,9 +115,15 @@ measureSystem(workload::Workload &wl, const harness::SystemConfig &cfg)
     return m;
 }
 
-/** Build, run and verify one workload; counters only. */
+/**
+ * Build, run and verify one workload; counters only.  When profiling
+ * is enabled in @p cfg the outcome also carries the run's waste
+ * profile, with every key prefixed by @p profile_scope so profiles
+ * from different sweep points merge without colliding.
+ */
 inline RunOutcome
-measure(workload::Workload &wl, const harness::SystemConfig &cfg)
+measure(workload::Workload &wl, const harness::SystemConfig &cfg,
+        const std::string &profile_scope = "")
 {
     RunOutcome out;
     MeasuredSystem m = measureSystem(wl, cfg);
@@ -128,6 +135,8 @@ measure(workload::Workload &wl, const harness::SystemConfig &cfg)
     out.result.instructions = m.sys->totalInstructions();
     out.result.commits = m.sys->totalCommits();
     out.result.rollbacks = m.sys->totalRollbacks();
+    if (cfg.profile)
+        out.profile = m.sys->profile(profile_scope);
     return out;
 }
 
@@ -206,10 +215,48 @@ banner(const std::string &id, const std::string &title)
 }
 
 /**
+ * Write the waste-profile artefacts requested on the command line:
+ * `--profile-out=FILE` (JSON, plus FILE.folded with flamegraph folded
+ * stacks) and `--waste-report` (top-N table on stdout).  No-op when
+ * neither option was passed.  Callers that sweep many configurations
+ * merge the per-run profiles (in submission order, for byte-identical
+ * output at any --jobs) and pass the merged profile here once.
+ * @return false if a requested file could not be opened
+ */
+inline bool
+writeProfileArtifacts(const prof::Profile &profile,
+                      const harness::Options &opts)
+{
+    if (const std::string path = opts.profileOut(); !path.empty()) {
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "error: cannot open --profile-out file '"
+                      << path << "'\n";
+            return false;
+        }
+        profile.writeJson(os);
+        const std::string folded_path = path + ".folded";
+        std::ofstream folded(folded_path);
+        if (!folded) {
+            std::cerr << "error: cannot open --profile-out file '"
+                      << folded_path << "'\n";
+            return false;
+        }
+        profile.writeFolded(folded);
+        std::cerr << "profile written to " << path << " and "
+                  << folded_path << "\n";
+    }
+    if (opts.wasteReport())
+        profile.writeReport(std::cout);
+    return true;
+}
+
+/**
  * Write the observability artefacts requested on the command line:
  * `--trace-out=FILE` (Chrome trace-event JSON, load in
- * ui.perfetto.dev) and `--stats-json=FILE` (full stat registry plus
- * the snapshot time series).  No-op when neither option was passed.
+ * ui.perfetto.dev), `--stats-json=FILE` (full stat registry plus the
+ * snapshot time series), `--profile-out=FILE` and `--waste-report`
+ * (waste-attribution profile).  No-op when no option was passed.
  * @return false if a requested file could not be opened
  */
 inline bool
@@ -237,6 +284,8 @@ writeObservability(const harness::System &sys,
         sys.writeStatsJson(os);
         std::cerr << "stats written to " << path << "\n";
     }
+    if (opts.profiling() && !writeProfileArtifacts(sys.profile(), opts))
+        return false;
     return true;
 }
 

@@ -26,8 +26,18 @@ struct WorkloadNorms
 {
     std::string name;
     double norm[6] = {};
+    prof::Profile profile; //!< merged across the six runs (if enabled)
     std::string error;
 };
+
+/** Scope prefix for one run's profile, e.g. "spinlock/IF-TSO". */
+std::string
+profileScope(const workload::Workload &wl, cpu::ConsistencyModel model,
+             bool speculative)
+{
+    return wl.name() + "/" + (speculative ? "IF-" : "") +
+           cpu::consistencyModelName(model);
+}
 
 } // namespace
 
@@ -41,9 +51,10 @@ main(int argc, char **argv)
     harness::Table table({"workload", "SC", "IF-SC", "TSO", "IF-TSO",
                           "RMO", "IF-RMO"});
 
+    const bool profiling = opts.profiling();
     std::vector<std::function<WorkloadNorms()>> tasks;
     for (auto &wl : sharedSuite(2)) {
-        tasks.push_back([wl]() -> WorkloadNorms {
+        tasks.push_back([wl, profiling]() -> WorkloadNorms {
             WorkloadNorms out;
             out.name = wl->name();
             double cycles[6] = {};
@@ -57,11 +68,15 @@ main(int argc, char **argv)
                     cfg.model = model;
                     if (speculative)
                         cfg.withSpeculation();
-                    RunOutcome r = measure(*wl, cfg);
+                    cfg.profile = profiling;
+                    RunOutcome r = measure(
+                        *wl, cfg,
+                        profileScope(*wl, model, speculative));
                     if (!r) {
                         out.error = r.error;
                         return out;
                     }
+                    out.profile.merge(r.profile);
                     cycles[i] = static_cast<double>(r.result.cycles);
                     if (model == cpu::ConsistencyModel::RMO &&
                         !speculative) {
@@ -102,5 +117,15 @@ main(int argc, char **argv)
     std::cout << "\nShape to reproduce: IF-SC << SC (most of the "
                  "SC->RMO gap closes);\nIF-TSO <= TSO (fence/atomic "
                  "drains vanish); IF-RMO ~= RMO.\n";
+
+    if (profiling) {
+        // Merge in submission order on the main thread: the combined
+        // profile is byte-identical for every --jobs value.
+        prof::Profile merged;
+        for (const auto &w : results)
+            merged.merge(w.profile);
+        if (!writeProfileArtifacts(merged, opts))
+            return 1;
+    }
     return 0;
 }

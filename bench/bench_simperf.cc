@@ -170,6 +170,36 @@ BM_FullSystemTraced(benchmark::State &state)
 }
 BENCHMARK(BM_FullSystemTraced);
 
+/**
+ * Whole-system overhead of the waste-attribution profiler: the
+ * BM_FullSystem/1 workload with per-PC, per-line and rollback
+ * accounting on.  The regression guard holds this within 10% of
+ * BM_FullSystem/1; BM_FullSystem itself keeps measuring the
+ * profiler-off path (one null test per site).
+ */
+void
+BM_FullSystemProfiled(benchmark::State &state)
+{
+    std::uint64_t sim_insts = 0;
+    for (auto _ : state) {
+        harness::SystemConfig cfg;
+        cfg.num_cores = 4;
+        cfg.model = cpu::ConsistencyModel::TSO;
+        cfg.withSpeculation();
+        cfg.withProfiling();
+        workload::SpinlockCrit wl;
+        isa::Program prog = wl.build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        const bool done = sys.run();
+        benchmark::DoNotOptimize(done);
+        sim_insts += sys.totalInstructions();
+        state.counters["profiled_pcs"] =
+            static_cast<double>(sys.profile().pcs.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
+}
+BENCHMARK(BM_FullSystemProfiled);
+
 void
 BM_ParallelSweep(benchmark::State &state)
 {

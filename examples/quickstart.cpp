@@ -10,7 +10,11 @@
  * `--trace-out=run.json` for a Chrome trace-event timeline of the
  * speculative run (open in ui.perfetto.dev) and/or
  * `--stats-json=stats.json [--stats-interval=N]` for the machine-
- * readable stat registry.
+ * readable stat registry.  Waste attribution (DESIGN.md section 7.4):
+ * `--waste-report` prints the top-N table of wasted cycles by
+ * instruction, contended cache lines and rollback causes for the
+ * speculative run; `--profile-out=profile.json` writes the full
+ * profile (plus profile.json.folded flamegraph stacks).
  */
 
 #include <iostream>

@@ -16,13 +16,32 @@ adding or renaming benchmarks does not break CI in the same PR.
 import json
 import sys
 
-GUARDED_PREFIXES = ("BM_EventQueue", "BM_FullSystem/")
+GUARDED_PREFIXES = ("BM_EventQueue", "BM_FullSystem/",
+                    "BM_FullSystemProfiled")
 
 
 def load(path):
+    """Read {benchmark name: items/sec}, naming whatever is malformed.
+
+    A raw KeyError here would point at this script rather than at the
+    file that is missing a field, so every required key gets its own
+    message instead.
+    """
     with open(path) as f:
         doc = json.load(f)
-    return {b["name"]: b["items_per_second"] for b in doc["benchmarks"]}
+    if "benchmarks" not in doc:
+        sys.exit(f"error: {path}: no 'benchmarks' array "
+                 f"(is this a BENCH_simperf.json?)")
+    out = {}
+    for i, bench in enumerate(doc["benchmarks"]):
+        name = bench.get("name")
+        if name is None:
+            sys.exit(f"error: {path}: benchmarks[{i}] has no 'name'")
+        if "items_per_second" not in bench:
+            sys.exit(f"error: {path}: benchmark '{name}' has no "
+                     f"'items_per_second'")
+        out[name] = bench["items_per_second"]
+    return out
 
 
 def main(argv):
@@ -45,7 +64,12 @@ def main(argv):
         if not name.startswith(GUARDED_PREFIXES):
             continue
         if name not in fresh:
-            print(f"note: {name} missing from fresh run (skipped)")
+            # A guarded benchmark vanishing would otherwise pass the
+            # guard silently; removing one on purpose means updating
+            # the committed baseline in the same PR.
+            print(f"FAILURE: guarded benchmark {name} is in the "
+                  f"baseline but missing from the fresh run")
+            failures.append(name)
             continue
         now = fresh[name]
         ratio = now / base if base else float("inf")
@@ -57,7 +81,12 @@ def main(argv):
               f"({ratio:.1%} of baseline) {status}")
 
     for name in sorted(set(fresh) - set(baseline)):
-        print(f"note: {name} not in baseline (unguarded)")
+        if name.startswith(GUARDED_PREFIXES):
+            print(f"note: guarded benchmark {name} is new (not in the "
+                  f"baseline yet); commit a refreshed baseline to "
+                  f"guard it")
+        else:
+            print(f"note: {name} not in baseline (unguarded)")
 
     if failures:
         print(f"\n{len(failures)} benchmark(s) regressed more than "

@@ -76,6 +76,7 @@ parseFlags(const std::string &spec, std::uint32_t &mask,
 {
     std::uint32_t parsed = 0;
     std::string token;
+    std::string unknown;
     std::istringstream is(spec);
     while (std::getline(is, token, ',')) {
         if (token.empty())
@@ -89,10 +90,16 @@ parseFlags(const std::string &spec, std::uint32_t &mask,
             }
         }
         if (!found) {
-            error = "unknown trace flag '" + token + "' (valid: " +
-                    validFlagNames() + ")";
-            return false;
+            // Collect every bad token so one retry fixes them all.
+            if (!unknown.empty())
+                unknown += "', '";
+            unknown += token;
         }
+    }
+    if (!unknown.empty()) {
+        error = "unknown trace flag(s) '" + unknown + "' (valid: " +
+                validFlagNames() + ")";
+        return false;
     }
     mask = parsed;
     return true;

@@ -58,6 +58,7 @@ SpecController::SpecController(sim::SimContext &ctx,
                                const Params &params, cpu::Core &core,
                                mem::L1Cache &l1)
     : SimObject(ctx, name), params_(params), core_(core), l1_(l1),
+      prof_(ctx.profiler.ifEnabled()),
       stat_epochs_(statGroup().addScalar("epochs",
                                          "speculative epochs begun")),
       stat_epochs_sc_load_(statGroup().addScalar("epochs_sc_load",
@@ -295,6 +296,8 @@ SpecController::doCommit()
     l1_.commitQueuedSpecRequests(epoch_);
     l1_.commitSpecWrites();
     core_.storeBuffer().commitSpec();
+    if (prof_)
+        prof_->commitEpoch(core_.coreId());
     ++epoch_;
     in_spec_ = false;
     // Decay the rollback backoff slowly: a workload phase that keeps
@@ -336,22 +339,21 @@ void
 SpecController::specConflict(Addr block_addr, bool remote_write,
                              bool had_sw)
 {
-    (void)block_addr;
     flAssert(in_spec_, name(), ": conflict outside an epoch");
     flAssert(remote_write || had_sw,
              name(), ": remote read conflicting without an SW tag");
     rollback(remote_write ? RollbackCause::RemoteWrite
-                          : RollbackCause::RemoteRead);
+                          : RollbackCause::RemoteRead,
+             block_addr);
 }
 
 bool
 SpecController::specOverflow(Addr block_addr, bool needed_for_commit)
 {
-    (void)block_addr;
     flAssert(in_spec_, name(), ": overflow outside an epoch");
     if (params_.overflow == OverflowPolicy::Rollback ||
         needed_for_commit) {
-        rollback(RollbackCause::Overflow);
+        rollback(RollbackCause::Overflow, block_addr);
         return true;
     }
     // Park the fill; force the epoch to close as soon as it legally can
@@ -365,12 +367,19 @@ SpecController::specOverflow(Addr block_addr, bool needed_for_commit)
 }
 
 void
-SpecController::rollback(RollbackCause cause)
+SpecController::rollback(RollbackCause cause, Addr trigger_addr)
 {
     flAssert(in_spec_, name(), ": rollback outside an epoch");
     FL_TRACE(trace::Flag::Spec, *this, "epoch ", epoch_,
              " rolls back (", rollbackCauseName(cause), ", ",
              epochInsts(), " insts discarded)");
+
+    if (prof_) {
+        // Attribute before restoring: core_.pc() is still the
+        // wrong-path victim PC.
+        prof_->rollbackEpoch(core_.coreId(), rollbackCauseName(cause),
+                             trigger_addr, core_.pc(), epochInsts());
+    }
 
     stat_discarded_insts_ += epochInsts();
     stat_epoch_stores_.sample(static_cast<double>(epoch_stores_));

@@ -152,13 +152,20 @@ class SpecController : public sim::SimObject,
     void noteCrossing();
     void tryCommit();
     void doCommit();
-    void rollback(RollbackCause cause);
+
+    /**
+     * Squash the current epoch.  @p trigger_addr is the block address
+     * whose coherence probe / overflow forced the rollback (0 when no
+     * single address is responsible), recorded for waste attribution.
+     */
+    void rollback(RollbackCause cause, Addr trigger_addr);
     void fireSpecExit();
     std::uint64_t epochInsts() const;
 
     Params params_;
     cpu::Core &core_;
     mem::L1Cache &l1_;
+    prof::WasteProfiler *const prof_; //!< null when profiling is off
 
     bool in_spec_ = false;
     Tick epoch_start_tick_ = 0; //!< when the current epoch began

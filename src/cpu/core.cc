@@ -62,6 +62,7 @@ Core::Core(sim::SimContext &ctx, const std::string &name,
            mem::L1Cache &l1, std::uint32_t num_cores)
     : SimObject(ctx, name), params_(params), core_id_(core_id),
       prog_(prog), decoded_(prog), l1_(l1), num_cores_(num_cores),
+      prof_(ctx.profiler.ifEnabled()),
       sb_(ctx, statGroup(),
           StoreBuffer::Params{params.sb_size,
                               ModelPolicy::sbDrainsInOrder(params.model),
@@ -141,9 +142,40 @@ Core::scheduleTick(Cycles delay)
         scheduleIn(&tick_event_, delay);
 }
 
+namespace
+{
+
+/** Map the fine-grained stall taxonomy onto the waste buckets. */
+prof::CycleBucket
+profileBucket(StallReason reason)
+{
+    switch (reason) {
+      case StallReason::SbFull:
+        return prof::CycleBucket::SbFull;
+      case StallReason::LoadAccess:
+      case StallReason::AmoAccess:
+      case StallReason::FwdConflict:
+        return prof::CycleBucket::MissWait;
+      // Everything else is an ordering stall: the fence-stall family.
+      case StallReason::ScLoadOrder:
+      case StallReason::FenceDrain:
+      case StallReason::AmoOrder:
+      case StallReason::AmoData:
+      case StallReason::HaltDrain:
+      case StallReason::SpecLimit:
+      case StallReason::NumReasons:
+        break;
+    }
+    return prof::CycleBucket::FenceStall;
+}
+
+} // namespace
+
 void
 Core::advance(std::uint64_t next_pc, Cycles delay)
 {
+    if (prof_) // pc_ still names the instruction that just executed
+        profileCycles(prof::CycleBucket::Execute, delay);
     pc_ = next_pc;
     ++instret_;
     ++stat_instructions_;
@@ -155,6 +187,8 @@ void
 Core::accountStall(StallReason reason, Tick begin)
 {
     *stat_stalls_[static_cast<std::size_t>(reason)] += curTick() - begin;
+    if (prof_)
+        profileCycles(profileBucket(reason), curTick() - begin);
     FL_TEVENT(*this, trace::EventKind::CoreStall, begin, 0,
               static_cast<std::uint32_t>(reason));
 }
@@ -518,6 +552,8 @@ Core::executeHalt()
         spec_->requestStop(resumer(StallReason::HaltDrain));
         return;
     }
+    if (prof_)
+        profileCycles(prof::CycleBucket::Execute, 1);
     ++instret_;
     ++stat_instructions_;
     halted_ = true;

@@ -228,6 +228,14 @@ class Core : public sim::SimObject
     void advance(std::uint64_t next_pc, Cycles delay = 1);
     void accountStall(StallReason reason, Tick begin);
 
+    /** Charge @p cycles at the current pc to the profiler. */
+    void
+    profileCycles(prof::CycleBucket bucket, std::uint64_t cycles)
+    {
+        prof_->addCycles(core_id_, pc_, bucket, cycles,
+                         spec_ && spec_->inSpec());
+    }
+
     Params params_;
     CoreId core_id_;
     const isa::Program &prog_;
@@ -235,6 +243,7 @@ class Core : public sim::SimObject
     mem::L1Cache &l1_;
     std::uint32_t num_cores_;
     SpecInterface *spec_ = nullptr;
+    prof::WasteProfiler *const prof_; //!< null when profiling is off
 
     StoreBuffer sb_;
 

@@ -1,6 +1,7 @@
 #include "harness/options.hh"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "base/logging.hh"
@@ -16,7 +17,7 @@ const char *known_options[] = {
     "cores", "model", "spec", "granularity", "overflow", "sb-size",
     "l1-kb", "l2-kb", "dram-latency", "net-latency", "scale", "seed",
     "jobs", "csv", "trace", "trace-out", "stats-json", "stats-interval",
-    "help",
+    "profile-out", "waste-report", "help",
 };
 
 bool
@@ -27,6 +28,22 @@ isKnown(const std::string &name)
             return true;
     }
     return false;
+}
+
+/**
+ * Fail fast on an unwritable output path: a long run that only
+ * discovers a bad --trace-out / --stats-json / --profile-out at exit
+ * loses all of its output.  Open in append mode (creates the file,
+ * never truncates an existing one before the run actually writes).
+ */
+void
+requireWritable(const char *option, const std::string &path)
+{
+    std::ofstream os(path, std::ios::app);
+    if (!os) {
+        fatal("--", option, ": cannot open '", path,
+              "' for writing");
+    }
 }
 
 } // namespace
@@ -58,6 +75,13 @@ Options::Options(int argc, char **argv)
     scale_ = static_cast<unsigned>(getInt("scale", 1));
     seed_ = getInt("seed", 42);
     jobs_ = static_cast<unsigned>(getInt("jobs", 0));
+
+    for (const char *opt : {"trace-out", "stats-json", "profile-out"}) {
+        if (has(opt))
+            requireWritable(opt, get(opt));
+    }
+    if (has("profile-out")) // the folded sibling is written too
+        requireWritable("profile-out", get("profile-out") + ".folded");
 }
 
 std::string
@@ -144,6 +168,8 @@ Options::applyTo(SystemConfig base) const
     }
     if (has("stats-interval"))
         base.stats_interval = getInt("stats-interval", 0);
+    if (profiling())
+        base.profile = true;
     return base;
 }
 
@@ -175,6 +201,10 @@ Options::printUsage(const std::string &prog)
         << "  --stats-json=FILE     write the stat registry as JSON\n"
         << "  --stats-interval=N    snapshot stats every N cycles into\n"
            "                        the --stats-json time series\n"
+        << "  --profile-out=FILE    write the waste-attribution profile\n"
+           "                        as JSON plus FILE.folded (flamegraph\n"
+           "                        folded stacks)\n"
+        << "  --waste-report        print the top-N waste table\n"
         << "  --help                this message\n";
 }
 

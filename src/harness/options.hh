@@ -30,7 +30,14 @@
  *                          (implies --trace=all when --trace is absent)
  *     --stats-json=FILE    full stat registry as JSON
  *     --stats-interval=N   periodic stat snapshots every N cycles
+ *     --profile-out=FILE   waste-attribution profile as JSON, plus
+ *                          FILE.folded (flamegraph folded stacks)
+ *     --waste-report       print the top-N waste table to stdout
  *     --help               print usage and exit
+ *
+ * Output paths (--trace-out, --stats-json, --profile-out) are opened
+ * for writing at parse time and rejected immediately when unwritable,
+ * so a bad path fails before the simulation instead of after it.
  */
 
 #pragma once
@@ -73,6 +80,19 @@ class Options
 
     /** Path for --stats-json ("" = no JSON stats requested). */
     std::string statsJson() const { return get("stats-json"); }
+
+    /** Path for --profile-out ("" = no profile export requested). */
+    std::string profileOut() const { return get("profile-out"); }
+
+    /** @return true if --waste-report was passed. */
+    bool wasteReport() const { return has("waste-report"); }
+
+    /** @return true if any profiler output was requested. */
+    bool
+    profiling() const
+    {
+        return has("profile-out") || has("waste-report");
+    }
 
     /** @return true if the user passed the given option. */
     bool has(const std::string &name) const

@@ -29,6 +29,21 @@ System::System(const SystemConfig &config, const isa::Program &prog)
     // recording needs no synchronisation.
     ctx_.tracer.setMask(config_.trace_mask);
 
+    // The profiler must be configured before any component construction
+    // below: each component caches ifEnabled() exactly once.
+    if (config_.profile) {
+        std::vector<prof::CodeSym> code_syms;
+        for (const auto &[index, label] : prog_.code_labels)
+            code_syms.push_back({index, label});
+        std::vector<prof::DataSym> data_syms;
+        for (const auto &sym : prog_.symbols)
+            data_syms.push_back({sym.addr, sym.size, sym.name});
+        ctx_.profiler.configure(prog_.code.size(), config_.num_cores,
+                                config_.l1.block_size,
+                                std::move(code_syms),
+                                std::move(data_syms));
+    }
+
     isa::loadImage(prog_, backing_);
 
     const mem::NodeId dir_node = config_.num_cores;

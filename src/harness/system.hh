@@ -52,6 +52,13 @@ struct SystemConfig
      */
     Tick stats_interval = 0;
 
+    /**
+     * Enable the waste-attribution profiler (per-PC cycle buckets,
+     * per-line contention, rollback causes; see sim/profiler.hh).
+     * Disabled (default) costs one null test per instrumentation site.
+     */
+    bool profile = false;
+
     /** Convenience: enable on-demand block-granularity speculation. */
     SystemConfig &
     withSpeculation(spec::SpecMode mode = spec::SpecMode::OnDemand)
@@ -66,6 +73,14 @@ struct SystemConfig
                     static_cast<std::uint32_t>(trace::Flag::All))
     {
         trace_mask = mask;
+        return *this;
+    }
+
+    /** Convenience: enable the waste-attribution profiler. */
+    SystemConfig &
+    withProfiling()
+    {
+        profile = true;
         return *this;
     }
 };
@@ -148,6 +163,17 @@ class System
      * `{"groups": {...}, "snapshots": [{"tick": N, "groups": ...}]}`.
      */
     void writeStatsJson(std::ostream &os) const;
+
+    /**
+     * Symbolized waste profile of the run (empty unless
+     * `config.profile` was set).  A non-empty @p scope prefixes every
+     * key so profiles of different configurations merge cleanly.
+     */
+    prof::Profile
+    profile(const std::string &scope = "") const
+    {
+        return ctx_.profiler.snapshot(scope);
+    }
 
     std::uint64_t totalInstructions() const;
 

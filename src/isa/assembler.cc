@@ -313,6 +313,10 @@ Assembler::finish()
     prog.data = std::move(data_);
     prog.data_limit = next_data_;
     prog.symbols = std::move(symbols_);
+    // labels_ is sorted by name, so the first insert for an index is
+    // the alphabetically-first label naming it (deterministic).
+    for (const auto &[label, index] : labels_)
+        prog.code_labels.try_emplace(index, label);
 
     code_.clear();
     labels_.clear();

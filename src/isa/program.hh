@@ -66,6 +66,14 @@ struct Program
     Addr data_limit = 0;       //!< one past the highest allocated address
     std::vector<DataSymbol> symbols;
 
+    /**
+     * Code labels (instruction index -> label name), exported by the
+     * assembler so profilers can symbolize program counters.  When
+     * several labels name the same index, the alphabetically first
+     * wins.
+     */
+    std::map<std::uint64_t, std::string> code_labels;
+
     /** Look up a data symbol's address; panics if absent. */
     Addr symbol(const std::string &name) const;
 

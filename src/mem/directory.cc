@@ -14,6 +14,7 @@ Directory::Directory(sim::SimContext &ctx, const std::string &name,
                      FlatMemory &backing)
     : SimObject(ctx, name), params_(params), node_id_(node_id),
       num_cores_(num_cores), network_(network), backing_(backing),
+      prof_(ctx.profiler.ifEnabled()),
       array_(params.size, params.assoc, params.block_size),
       stat_gets_(statGroup().addScalar("gets", "GetS transactions")),
       stat_getm_(statGroup().addScalar("getm", "GetM transactions")),
@@ -177,6 +178,9 @@ Directory::processGetS(Txn &txn, L2Block &blk)
     const CoreId requestor = txn.req.src;
 
     if (blk.hasOwner() && blk.owner != requestor) {
+        // Access migrates away from the current owner: read ping-pong.
+        if (prof_)
+            prof_->linePingPong(blk.block_addr);
         ++stat_fwds_sent_;
         sendToL1(MsgType::FwdGetS, blk.owner, blk.block_addr);
         txn.phase = Txn::Phase::Fwd;
@@ -212,6 +216,9 @@ Directory::processGetM(Txn &txn, L2Block &blk)
         return;
     }
     if (blk.hasOwner()) {
+        // Ownership migrates between writers: write ping-pong.
+        if (prof_)
+            prof_->linePingPong(blk.block_addr);
         ++stat_fwds_sent_;
         sendToL1(MsgType::FwdGetM, blk.owner, blk.block_addr);
         txn.phase = Txn::Phase::Fwd;
@@ -226,6 +233,9 @@ Directory::processGetM(Txn &txn, L2Block &blk)
         complete(blk.block_addr);
         return;
     }
+    // A writer displacing readers is the other ping-pong transition.
+    if (prof_)
+        prof_->linePingPong(blk.block_addr);
     unsigned count = 0;
     for (CoreId c = 0; c < num_cores_; ++c) {
         if (blk.isSharer(c)) {

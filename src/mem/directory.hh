@@ -148,6 +148,7 @@ class Directory : public sim::SimObject, public MsgReceiver
     std::uint32_t num_cores_;
     Network &network_;
     FlatMemory &backing_;
+    prof::WasteProfiler *const prof_; //!< null when profiling is off
 
     CacheArray<L2Block> array_;
     std::map<Addr, Txn> active_;

@@ -28,6 +28,7 @@ L1Cache::L1Cache(sim::SimContext &ctx, const std::string &name,
                  Network &network)
     : SimObject(ctx, name), params_(params), core_id_(core_id),
       node_id_(core_id), dir_node_(dir_node), network_(network),
+      prof_(ctx.profiler.ifEnabled()),
       array_(params.size, params.assoc, params.block_size),
       stat_loads_(statGroup().addScalar("loads", "load accesses")),
       stat_stores_(statGroup().addScalar("stores", "store accesses")),
@@ -266,6 +267,10 @@ L1Cache::performLoad(L1Block &blk, MemRequest &req)
     if (specLive(req))
         markSpecRead(blk);
     const Addr offset = req.addr - blk.block_addr;
+    if (prof_) {
+        prof_->touchLine(core_id_, blk.block_addr,
+                         static_cast<unsigned>(offset), req.size);
+    }
 #ifdef FL_DEBUG_WATCH
     if (req.addr == FL_DEBUG_WATCH) {
         fprintf(stderr, "[%lu] %s load 0x%lx -> %lu spec=%d state=%s\n",
@@ -299,6 +304,12 @@ L1Cache::performWrite(L1Block &blk, MemRequest &req)
     flAssert(blk.state == L1State::M || blk.state == L1State::E,
              name(), ": write to block in state ", l1StateName(blk.state));
     blk.state = L1State::M; // silent E->M upgrade
+
+    if (prof_) {
+        prof_->touchLine(core_id_, blk.block_addr,
+                         static_cast<unsigned>(req.addr - blk.block_addr),
+                         req.size);
+    }
 
     if (req.spec && blk.dirty) {
         // Clean-before-speculative-write: push the pre-speculation data
@@ -617,6 +628,8 @@ void
 L1Cache::handleInv(const Msg &msg)
 {
     ++stat_invs_;
+    if (prof_)
+        prof_->lineInvalidated(msg.block_addr);
 
     // Writeback-buffer entry (PutS raced with the invalidation)?
     if (WbEntry *wb = findWb(msg.block_addr)) {

@@ -246,6 +246,7 @@ class L1Cache : public sim::SimObject, public MsgReceiver
     NodeId dir_node_;
     Network &network_;
     SpecHooks *spec_ = nullptr;
+    prof::WasteProfiler *const prof_; //!< null when profiling is off
 
     CacheArray<L1Block> array_;
     std::map<Addr, Mshr> mshrs_;

@@ -10,6 +10,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "sim/eventq.hh"
+#include "sim/profiler.hh"
 #include "sim/trace_sink.hh"
 
 namespace fenceless::sim
@@ -17,16 +18,18 @@ namespace fenceless::sim
 
 /**
  * Shared state every component needs: the event queue, the stat
- * registry, and the structured trace sink.  Owned by the System
- * (harness); passed by reference to all SimObjects.  One context == one
- * simulated system == one host thread, so none of these members need
- * locking even when a SweepRunner drives many systems in parallel.
+ * registry, the structured trace sink, and the waste-attribution
+ * profiler.  Owned by the System (harness); passed by reference to all
+ * SimObjects.  One context == one simulated system == one host thread,
+ * so none of these members need locking even when a SweepRunner drives
+ * many systems in parallel.
  */
 struct SimContext
 {
     EventQueue eventq;
     statistics::StatRegistry stats;
     trace::TraceSink tracer;
+    prof::WasteProfiler profiler;
 
     Tick curTick() const { return eventq.curTick(); }
 };

@@ -1,7 +1,5 @@
 #include "workload/runtime.hh"
 
-#include <atomic>
-
 #include "isa/inst.hh"
 
 namespace fenceless::workload
@@ -10,22 +8,23 @@ namespace fenceless::workload
 using namespace isa;
 
 std::string
-uniqueLabel(const std::string &tag)
+uniqueLabel(const Assembler &as, const std::string &tag)
 {
-    static std::atomic<std::uint64_t> counter{0};
-    return "rt"
-           + std::to_string(
-                 counter.fetch_add(1, std::memory_order_relaxed))
-           + "_" + tag;
+    // Derived from the emission position rather than a global counter:
+    // building the same program always yields the same label names, no
+    // matter how many programs other (possibly concurrent) builds have
+    // assembled before.  The waste profiler symbolizes PCs through
+    // these names, so they must be a pure function of the program.
+    return "rt" + std::to_string(as.here()) + "_" + tag;
 }
 
 void
 emitSpinLockAcquire(Assembler &as, RegId lock_addr, RegId scratch0,
                     RegId scratch1)
 {
-    const std::string l_try = uniqueLabel("try");
-    const std::string l_spin = uniqueLabel("spin");
-    const std::string l_got = uniqueLabel("got");
+    const std::string l_try = uniqueLabel(as, "try");
+    const std::string l_spin = uniqueLabel(as, "spin");
+    const std::string l_got = uniqueLabel(as, "got");
 
     as.li(scratch1, 1);
     as.label(l_try);
@@ -51,8 +50,8 @@ void
 emitTicketLockAcquire(Assembler &as, RegId next_addr, RegId serving_addr,
                       RegId scratch0, RegId scratch1)
 {
-    const std::string l_spin = uniqueLabel("tkspin");
-    const std::string l_got = uniqueLabel("tkgot");
+    const std::string l_spin = uniqueLabel(as, "tkspin");
+    const std::string l_got = uniqueLabel(as, "tkgot");
 
     as.li(scratch1, 1);
     as.amoadd(scratch0, scratch1, next_addr); // scratch0 = my ticket
@@ -80,8 +79,8 @@ emitBarrier(Assembler &as, RegId count_addr, RegId sense_addr,
             RegId local_sense, RegId num_threads, RegId scratch0,
             RegId scratch1)
 {
-    const std::string l_wait = uniqueLabel("bwait");
-    const std::string l_done = uniqueLabel("bdone");
+    const std::string l_wait = uniqueLabel(as, "bwait");
+    const std::string l_done = uniqueLabel(as, "bdone");
 
     as.xori(local_sense, local_sense, 1);
     as.li(scratch1, 1);
@@ -120,7 +119,7 @@ emitDelay(Assembler &as, RegId scratch, std::uint64_t iterations)
 {
     if (iterations == 0)
         return;
-    const std::string l_loop = uniqueLabel("delay");
+    const std::string l_loop = uniqueLabel(as, "delay");
     as.li(scratch, iterations);
     as.label(l_loop);
     as.addi(scratch, scratch, -1);

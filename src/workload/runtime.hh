@@ -27,8 +27,13 @@ namespace fenceless::workload
 using isa::Assembler;
 using isa::RegId;
 
-/** Produce a fresh unique label with the given tag. */
-std::string uniqueLabel(const std::string &tag);
+/**
+ * Produce a fresh unique label with the given tag, derived from the
+ * assembler's current position: building the same program always
+ * yields the same names (the waste profiler symbolizes PCs through
+ * them), unlike a process-global counter.
+ */
+std::string uniqueLabel(const Assembler &as, const std::string &tag);
 
 /**
  * Test-and-test-and-set spin lock acquire.
