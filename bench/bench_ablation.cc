@@ -30,6 +30,7 @@ struct Meas
     double cycles = 0;
     std::uint64_t aux = 0; //!< prefetches (a) / rollbacks (c)
     std::string error;
+    bool hung = false;
 };
 
 workload::LocalLockStream::Params
@@ -59,6 +60,7 @@ runPrefetchPoint(unsigned depth)
     MeasuredSystem m = measureSystem(wl, cfg);
     if (!m.ok()) {
         out.error = m.error;
+        out.hung = m.hung;
         return out;
     }
     out.cycles = static_cast<double>(m.sys->runtimeCycles());
@@ -79,6 +81,7 @@ runInflightPoint(unsigned inflight)
     RunOutcome r = measure(wl, cfg);
     if (!r) {
         out.error = r.error;
+        out.hung = r.hung;
         return out;
     }
     out.cycles = static_cast<double>(r.result.cycles);
@@ -99,6 +102,7 @@ runBackoffPoint(unsigned cap)
     RunOutcome r = measure(wl, cfg);
     if (!r) {
         out.error = r.error;
+        out.hung = r.hung;
         return out;
     }
     out.cycles = static_cast<double>(r.result.cycles);
@@ -132,7 +136,9 @@ main(int argc, char **argv)
 
     auto results = runSweep(opts, std::move(tasks));
     if (!sweepOk(results, [](const Meas &m) { return m.error; }))
-        return 1;
+        return sweepExitCode(
+            results, [](const Meas &m) { return m.error; },
+            [](const Meas &m) { return m.hung; });
     std::size_t idx = 0;
 
     // (a) ownership prefetch depth, TSO baseline, store-heavy workload

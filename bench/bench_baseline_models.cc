@@ -53,7 +53,7 @@ main(int argc, char **argv)
                 cfg.model = model;
                 MeasuredSystem m = measureSystem(*wl, cfg);
                 if (!m.ok())
-                    return {{}, m.error};
+                    return {{}, m.error, m.hung};
                 cycles[i] =
                     static_cast<double>(m.sys->runtimeCycles());
                 stall_frac[i] = 100.0 * orderingStalls(*m.sys)
@@ -71,7 +71,7 @@ main(int argc, char **argv)
 
     auto rows = runSweep(opts, std::move(tasks));
     if (!sweepOk(rows))
-        return 1;
+        return sweepExitCode(rows);
     for (auto &row : rows)
         table.addRow(std::move(row.cells));
     table.print(std::cout);

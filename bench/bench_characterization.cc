@@ -28,7 +28,7 @@ main(int argc, char **argv)
             harness::SystemConfig cfg = defaultConfig();
             MeasuredSystem m = measureSystem(*wl, cfg);
             if (!m.ok())
-                return {{}, m.error};
+                return {{}, m.error, m.hung};
             harness::System &sys = *m.sys;
 
             std::uint64_t insts = 0, fences = 0, atomics = 0;
@@ -67,7 +67,7 @@ main(int argc, char **argv)
 
     auto rows = runSweep(opts, std::move(tasks));
     if (!sweepOk(rows))
-        return 1;
+        return sweepExitCode(rows);
     for (auto &row : rows)
         table.addRow(std::move(row.cells));
     table.print(std::cout);

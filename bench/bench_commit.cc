@@ -26,6 +26,7 @@ struct Meas
     double cycles = 0;
     std::uint64_t commits = 0;
     std::string error;
+    bool hung = false;
 };
 
 } // namespace
@@ -67,6 +68,7 @@ main(int argc, char **argv)
                 RunOutcome r = measure(*wl, cfg);
                 if (!r) {
                     out.error = r.error;
+                    out.hung = r.hung;
                     return out;
                 }
                 out.cycles = static_cast<double>(r.result.cycles);
@@ -78,7 +80,9 @@ main(int argc, char **argv)
 
     auto results = runSweep(opts, std::move(tasks));
     if (!sweepOk(results, [](const Meas &m) { return m.error; }))
-        return 1;
+        return sweepExitCode(
+            results, [](const Meas &m) { return m.error; },
+            [](const Meas &m) { return m.hung; });
 
     std::size_t idx = 0;
     for (const Make &make : entries) {

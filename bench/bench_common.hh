@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "harness/exit_codes.hh"
 #include "harness/options.hh"
 #include "harness/sweep.hh"
 #include "harness/system.hh"
@@ -75,6 +76,7 @@ struct RunOutcome
     RunResult result;
     prof::Profile profile; //!< empty unless cfg.profile was set
     std::string error;
+    bool hung = false; //!< watchdog abort or cycle-budget exhaustion
 
     bool ok() const { return error.empty(); }
     explicit operator bool() const { return ok(); }
@@ -88,6 +90,7 @@ struct MeasuredSystem
 {
     std::unique_ptr<harness::System> sys;
     std::string error;
+    bool hung = false; //!< watchdog abort or cycle-budget exhaustion
 
     bool ok() const { return error.empty(); }
     explicit operator bool() const { return ok(); }
@@ -104,7 +107,11 @@ measureSystem(workload::Workload &wl, const harness::SystemConfig &cfg)
     isa::Program prog = wl.build(cfg.num_cores);
     m.sys = std::make_unique<harness::System>(cfg, prog);
     if (!m.sys->run()) {
-        m.error = "workload '" + wl.name() + "' did not terminate";
+        m.hung = true;
+        m.error = "workload '" + wl.name() +
+                  (m.sys->hung()
+                       ? "' hung (watchdog abort, stall dossier above)"
+                       : "' did not terminate within the cycle budget");
         return m;
     }
     std::string check_error;
@@ -129,6 +136,7 @@ measure(workload::Workload &wl, const harness::SystemConfig &cfg,
     MeasuredSystem m = measureSystem(wl, cfg);
     if (!m.ok()) {
         out.error = std::move(m.error);
+        out.hung = m.hung;
         return out;
     }
     out.result.cycles = m.sys->runtimeCycles();
@@ -148,6 +156,7 @@ struct Row
 {
     std::vector<std::string> cells;
     std::string error;
+    bool hung = false; //!< the task's run hung (watchdog / budget)
 };
 
 /**
@@ -191,6 +200,36 @@ inline bool
 sweepOk(const std::vector<Row> &rows)
 {
     return sweepOk(rows, [](const Row &r) { return r.error; });
+}
+
+/**
+ * Process exit code for a drained sweep (see harness/exit_codes.hh):
+ * exit_hang if any task hung, exit_postcondition if any task failed
+ * for another reason (a workload postcondition), exit_ok otherwise.
+ * @p error_of / @p hung_of project the fields out of a result.
+ */
+template <typename R, typename ErrorOf, typename HungOf>
+int
+sweepExitCode(const std::vector<R> &results, ErrorOf &&error_of,
+              HungOf &&hung_of)
+{
+    int code = harness::exit_ok;
+    for (const auto &r : results) {
+        if (hung_of(r))
+            return harness::exit_hang;
+        if (!error_of(r).empty())
+            code = harness::exit_postcondition;
+    }
+    return code;
+}
+
+/** sweepExitCode for the Row-producing sweeps. */
+inline int
+sweepExitCode(const std::vector<Row> &rows)
+{
+    return sweepExitCode(
+        rows, [](const Row &r) { return r.error; },
+        [](const Row &r) { return r.hung; });
 }
 
 /**
@@ -255,8 +294,10 @@ writeProfileArtifacts(const prof::Profile &profile,
  * Write the observability artefacts requested on the command line:
  * `--trace-out=FILE` (Chrome trace-event JSON, load in
  * ui.perfetto.dev), `--stats-json=FILE` (full stat registry plus the
- * snapshot time series), `--profile-out=FILE` and `--waste-report`
- * (waste-attribution profile).  No-op when no option was passed.
+ * snapshot time series), `--blackbox-out=FILE` (flight-recorder dump,
+ * same format as --trace-out), `--profile-out=FILE` and
+ * `--waste-report` (waste-attribution profile).  No-op when no option
+ * was passed.
  * @return false if a requested file could not be opened
  */
 inline bool
@@ -283,6 +324,17 @@ writeObservability(const harness::System &sys,
         }
         sys.writeStatsJson(os);
         std::cerr << "stats written to " << path << "\n";
+    }
+    if (const std::string path = opts.blackboxOut(); !path.empty()) {
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "error: cannot open --blackbox-out file '"
+                      << path << "'\n";
+            return false;
+        }
+        sys.writeBlackbox(os);
+        std::cerr << "flight recorder written to " << path
+                  << " (open in ui.perfetto.dev)\n";
     }
     if (opts.profiling() && !writeProfileArtifacts(sys.profile(), opts))
         return false;

@@ -27,6 +27,7 @@ struct Meas
     double cycles = 0;
     std::uint64_t stalls = 0;
     std::string error;
+    bool hung = false;
 };
 
 Meas
@@ -44,6 +45,7 @@ runOne(const Make &make, spec::Granularity g, unsigned k)
     MeasuredSystem m = measureSystem(*wl, cfg);
     if (!m.ok()) {
         out.error = m.error;
+        out.hung = m.hung;
         return out;
     }
     out.cycles = static_cast<double>(m.sys->runtimeCycles());
@@ -100,7 +102,9 @@ main(int argc, char **argv)
 
     auto results = runSweep(opts, std::move(tasks));
     if (!sweepOk(results, [](const Meas &m) { return m.error; }))
-        return 1;
+        return sweepExitCode(
+            results, [](const Meas &m) { return m.error; },
+            [](const Meas &m) { return m.hung; });
 
     std::size_t idx = 0;
     for (const Make &make : entries) {

@@ -28,6 +28,7 @@ struct WorkloadNorms
     double norm[6] = {};
     prof::Profile profile; //!< merged across the six runs (if enabled)
     std::string error;
+    bool hung = false;
 };
 
 /** Scope prefix for one run's profile, e.g. "spinlock/IF-TSO". */
@@ -74,6 +75,7 @@ main(int argc, char **argv)
                         profileScope(*wl, model, speculative));
                     if (!r) {
                         out.error = r.error;
+                        out.hung = r.hung;
                         return out;
                     }
                     out.profile.merge(r.profile);
@@ -94,7 +96,9 @@ main(int argc, char **argv)
     auto results = runSweep(opts, std::move(tasks));
     if (!sweepOk(results,
                  [](const WorkloadNorms &w) { return w.error; }))
-        return 1;
+        return sweepExitCode(
+            results, [](const WorkloadNorms &w) { return w.error; },
+            [](const WorkloadNorms &w) { return w.hung; });
 
     double geo[6] = {1, 1, 1, 1, 1, 1};
     for (const auto &w : results) {

@@ -34,6 +34,7 @@ struct Meas
     double dir_service = 0;
     double net_transit = 0;
     std::string error;
+    bool hung = false;
 };
 
 Meas
@@ -47,6 +48,7 @@ runPoint(const Make &make, Cycles dram_latency)
     RunOutcome base = measure(*base_wl, cfg);
     if (!base) {
         out.error = base.error;
+        out.hung = base.hung;
         return out;
     }
 
@@ -55,6 +57,7 @@ runPoint(const Make &make, Cycles dram_latency)
     MeasuredSystem m = measureSystem(*wl, cfg);
     if (!m.ok()) {
         out.error = m.error;
+        out.hung = m.hung;
         return out;
     }
     out.speedup = static_cast<double>(base.result.cycles)
@@ -115,7 +118,9 @@ main(int argc, char **argv)
 
     auto results = runSweep(opts, std::move(tasks));
     if (!sweepOk(results, [](const Meas &m) { return m.error; }))
-        return 1;
+        return sweepExitCode(
+            results, [](const Meas &m) { return m.error; },
+            [](const Meas &m) { return m.hung; });
 
     std::size_t idx = 0;
     for (const Make &make : entries) {

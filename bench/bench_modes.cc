@@ -36,7 +36,7 @@ main(int argc, char **argv)
                 cfg.model = cpu::ConsistencyModel::SC;
                 RunOutcome r = measure(*wl, cfg);
                 if (!r)
-                    return {{}, r.error};
+                    return {{}, r.error, r.hung};
                 base_cycles = static_cast<double>(r.result.cycles);
             }
             int i = 0;
@@ -47,7 +47,7 @@ main(int argc, char **argv)
                 cfg.spec.mode = mode;
                 MeasuredSystem m = measureSystem(*wl, cfg);
                 if (!m.ok())
-                    return {{}, m.error};
+                    return {{}, m.error, m.hung};
                 cycles[i] =
                     static_cast<double>(m.sys->runtimeCycles());
                 for (std::uint32_t c = 0; c < cfg.num_cores; ++c) {
@@ -71,7 +71,7 @@ main(int argc, char **argv)
 
     auto rows = runSweep(opts, std::move(tasks));
     if (!sweepOk(rows))
-        return 1;
+        return sweepExitCode(rows);
     for (auto &row : rows)
         table.addRow(std::move(row.cells));
     table.print(std::cout);

@@ -66,7 +66,7 @@ main(int argc, char **argv)
             auto base_wl = pt.make();
             RunOutcome base = measure(*base_wl, base_cfg);
             if (!base)
-                return {{}, base.error};
+                return {{}, base.error, base.hung};
             const double base_cycles =
                 static_cast<double>(base.result.cycles);
 
@@ -75,7 +75,7 @@ main(int argc, char **argv)
             auto wl = pt.make();
             MeasuredSystem m = measureSystem(*wl, cfg);
             if (!m.ok())
-                return {{}, m.error};
+                return {{}, m.error, m.hung};
 
             std::uint64_t rollbacks = 0, epochs = 0, discarded = 0;
             std::uint64_t insts = m.sys->totalInstructions();
@@ -100,7 +100,7 @@ main(int argc, char **argv)
 
     auto rows = runSweep(opts, std::move(tasks));
     if (!sweepOk(rows))
-        return 1;
+        return sweepExitCode(rows);
     for (auto &row : rows)
         table.addRow(std::move(row.cells));
     table.print(std::cout);

@@ -24,6 +24,7 @@ struct Series
 {
     std::vector<double> cycles;
     std::string error;
+    bool hung = false;
 };
 
 } // namespace
@@ -78,6 +79,7 @@ main(int argc, char **argv)
                     RunOutcome r = measure(*wl, cfg);
                     if (!r) {
                         s.error = r.error;
+                        s.hung = r.hung;
                         return s;
                     }
                     s.cycles.push_back(
@@ -90,7 +92,9 @@ main(int argc, char **argv)
 
     auto results = runSweep(opts, std::move(tasks));
     if (!sweepOk(results, [](const Series &s) { return s.error; }))
-        return 1;
+        return sweepExitCode(
+            results, [](const Series &s) { return s.error; },
+            [](const Series &s) { return s.hung; });
 
     std::size_t idx = 0;
     for (const Make &make : entries) {

@@ -27,6 +27,7 @@ struct Meas
     double speedup = 0;
     std::uint64_t rollbacks = 0;
     std::string error;
+    bool hung = false;
 };
 
 } // namespace
@@ -68,6 +69,7 @@ main(int argc, char **argv)
                 RunOutcome base = measure(*base_wl, cfg);
                 if (!base) {
                     out.error = base.error;
+                    out.hung = base.hung;
                     return out;
                 }
 
@@ -76,6 +78,7 @@ main(int argc, char **argv)
                 MeasuredSystem m = measureSystem(*wl, cfg);
                 if (!m.ok()) {
                     out.error = m.error;
+                    out.hung = m.hung;
                     return out;
                 }
                 out.speedup =
@@ -89,7 +92,9 @@ main(int argc, char **argv)
 
     auto results = runSweep(opts, std::move(tasks));
     if (!sweepOk(results, [](const Meas &m) { return m.error; }))
-        return 1;
+        return sweepExitCode(
+            results, [](const Meas &m) { return m.error; },
+            [](const Meas &m) { return m.hung; });
 
     std::size_t idx = 0;
     for (const Make &make : entries) {

@@ -89,6 +89,10 @@ BM_FullSystem(benchmark::State &state)
         cfg.model = cpu::ConsistencyModel::TSO;
         if (speculative)
             cfg.withSpeculation();
+        // Measure the bare simulation: the always-on recorder and
+        // watchdog have their own benchmark (BM_FullSystemBlackbox).
+        cfg.blackbox_records = 0;
+        cfg.watchdog_interval = 0;
         workload::SpinlockCrit wl;
         isa::Program prog = wl.build(cfg.num_cores);
         harness::System sys(cfg, prog);
@@ -157,6 +161,8 @@ BM_FullSystemTraced(benchmark::State &state)
         cfg.model = cpu::ConsistencyModel::TSO;
         cfg.withSpeculation();
         cfg.withTracing();
+        cfg.blackbox_records = 0; // isolate the tracing cost
+        cfg.watchdog_interval = 0;
         workload::SpinlockCrit wl;
         isa::Program prog = wl.build(cfg.num_cores);
         harness::System sys(cfg, prog);
@@ -187,6 +193,8 @@ BM_FullSystemProfiled(benchmark::State &state)
         cfg.model = cpu::ConsistencyModel::TSO;
         cfg.withSpeculation();
         cfg.withProfiling();
+        cfg.blackbox_records = 0; // isolate the profiler cost
+        cfg.watchdog_interval = 0;
         workload::SpinlockCrit wl;
         isa::Program prog = wl.build(cfg.num_cores);
         harness::System sys(cfg, prog);
@@ -199,6 +207,36 @@ BM_FullSystemProfiled(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
 }
 BENCHMARK(BM_FullSystemProfiled);
+
+/**
+ * Whole-system cost of the default-on incident-observability layer:
+ * the BM_FullSystem/1 workload with the flight recorder and hang
+ * watchdog at their defaults.  The regression guard holds this within
+ * 5% of BM_FullSystem/1 -- the budget that lets the recorder stay on
+ * in every run.
+ */
+void
+BM_FullSystemBlackbox(benchmark::State &state)
+{
+    std::uint64_t sim_insts = 0;
+    for (auto _ : state) {
+        harness::SystemConfig cfg;
+        cfg.num_cores = 4;
+        cfg.model = cpu::ConsistencyModel::TSO;
+        cfg.withSpeculation();
+        // blackbox_records / watchdog_interval stay at their defaults.
+        workload::SpinlockCrit wl;
+        isa::Program prog = wl.build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        const bool done = sys.run();
+        benchmark::DoNotOptimize(done);
+        sim_insts += sys.totalInstructions();
+        state.counters["ring_pushes"] =
+            static_cast<double>(sys.tracer().ringPushes());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
+}
+BENCHMARK(BM_FullSystemBlackbox);
 
 void
 BM_ParallelSweep(benchmark::State &state)
@@ -213,6 +251,8 @@ BM_ParallelSweep(benchmark::State &state)
                 harness::SystemConfig cfg;
                 cfg.num_cores = 4;
                 cfg.model = cpu::ConsistencyModel::TSO;
+                cfg.blackbox_records = 0;
+                cfg.watchdog_interval = 0;
                 workload::SpinlockCrit wl;
                 isa::Program prog = wl.build(cfg.num_cores);
                 harness::System sys(cfg, prog);

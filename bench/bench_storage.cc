@@ -63,7 +63,7 @@ main(int argc, char **argv)
             cfg.withSpeculation();
             MeasuredSystem m = measureSystem(*wl, cfg);
             if (!m.ok())
-                return {{}, m.error};
+                return {{}, m.error, m.hung};
 
             std::uint64_t max_stores = 0, max_sw = 0, max_sr = 0;
             double insts_sum = 0;
@@ -87,7 +87,7 @@ main(int argc, char **argv)
 
     auto rows = runSweep(opts, std::move(tasks));
     if (!sweepOk(rows))
-        return 1;
+        return sweepExitCode(rows);
     for (auto &row : rows)
         table.addRow(std::move(row.cells));
     table.print(std::cout);

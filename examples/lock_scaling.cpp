@@ -15,6 +15,7 @@
 
 #include <iostream>
 
+#include "harness/exit_codes.hh"
 #include "harness/options.hh"
 #include "harness/sweep.hh"
 #include "harness/system.hh"
@@ -32,11 +33,12 @@ struct Point
     double base = 0;
     double spec = 0;
     std::string error;
+    bool hung = false;
 };
 
 double
 run(workload::Workload &wl, std::uint32_t cores, bool speculative,
-    std::string &error)
+    std::string &error, bool &hung)
 {
     harness::SystemConfig cfg;
     cfg.num_cores = cores;
@@ -47,7 +49,9 @@ run(workload::Workload &wl, std::uint32_t cores, bool speculative,
     isa::Program prog = wl.build(cores);
     harness::System sys(cfg, prog);
     if (!sys.run()) {
-        error = wl.name() + " did not terminate";
+        hung = true;
+        error = wl.name() + (sys.hung() ? " hung (watchdog abort)"
+                                        : " did not terminate");
         return 0;
     }
     if (!wl.check(sys.memReader(), cores, error)) {
@@ -92,11 +96,12 @@ main(int argc, char **argv)
             tasks.push_back([make, c]() -> Point {
                 Point pt;
                 auto wl_base = make();
-                pt.base = run(*wl_base, c, false, pt.error);
+                pt.base = run(*wl_base, c, false, pt.error,
+                              pt.hung);
                 if (!pt.error.empty())
                     return pt;
                 auto wl_spec = make();
-                pt.spec = run(*wl_spec, c, true, pt.error);
+                pt.spec = run(*wl_spec, c, true, pt.error, pt.hung);
                 return pt;
             });
         }
@@ -107,7 +112,8 @@ main(int argc, char **argv)
     for (const auto &pt : points) {
         if (!pt.error.empty()) {
             std::cerr << "error: " << pt.error << "\n";
-            return 1;
+            return pt.hung ? harness::exit_hang
+                           : harness::exit_postcondition;
         }
     }
 

@@ -53,19 +53,25 @@ main(int argc, char **argv)
         if (speculative)
             run_cfg.withSpeculation();
 
-        // 3. Build and run the system.
+        // 3. Build and run the system.  A hang exits with code 4
+        // (the watchdog has already printed its stall dossier).
         isa::Program prog = wl.build(run_cfg.num_cores);
         harness::System sys(run_cfg, prog);
         if (!sys.run()) {
-            std::cerr << "simulation did not terminate\n";
-            return 1;
+            std::cerr << (sys.hung()
+                              ? "simulation hung (see dossier above)\n"
+                              : "simulation did not terminate\n");
+            return harness::exit_hang;
         }
 
-        // 4. Verify the parallel program actually worked.
+        // 4. Verify the parallel program actually worked.  A failed
+        // postcondition exits with code 3 and prints the flight-
+        // recorder tail: the last events before the bad outcome.
         std::string error;
         if (!wl.check(sys.memReader(), run_cfg.num_cores, error)) {
             std::cerr << "postcondition failed: " << error << "\n";
-            return 1;
+            sys.writeBlackboxTail(std::cerr);
+            return harness::exit_postcondition;
         }
 
         // 5. The speculative run is the interesting timeline: write

@@ -14,6 +14,7 @@
 
 #include <iostream>
 
+#include "harness/exit_codes.hh"
 #include "harness/options.hh"
 #include "harness/sweep.hh"
 #include "harness/system.hh"
@@ -36,6 +37,7 @@ struct Row
 {
     std::vector<std::string> cells;
     std::string error;
+    bool hung = false;
 };
 
 Row
@@ -52,7 +54,10 @@ runVariant(const Variant &variant,
     isa::Program prog = wl.build(cfg.num_cores);
     harness::System sys(cfg, prog);
     if (!sys.run()) {
-        row.error = variant.label + ": did not terminate";
+        row.hung = true;
+        row.error = variant.label +
+                    (sys.hung() ? ": hung (watchdog abort)"
+                                : ": did not terminate");
         return row;
     }
     std::string error;
@@ -156,7 +161,8 @@ main(int argc, char **argv)
     for (auto &row : rows) {
         if (!row.error.empty()) {
             std::cerr << "error: " << row.error << "\n";
-            return 1;
+            return row.hung ? harness::exit_hang
+                            : harness::exit_postcondition;
         }
         table.addRow(std::move(row.cells));
     }

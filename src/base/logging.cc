@@ -8,22 +8,38 @@ namespace fenceless
 namespace detail
 {
 
-namespace
-{
-
 // Serialise report lines: simulation runs may execute on several host
 // threads (harness::SweepRunner) and a warn() from one run must not
 // interleave mid-line with another's.
-std::mutex report_mutex;
+std::mutex &
+reportMutex()
+{
+    static std::mutex report_mutex;
+    return report_mutex;
+}
 
-} // namespace
+// One hook per host thread: each sweep worker runs its own system, so
+// the system's evidence dump must not fire for a panic in a sibling.
+std::function<void()> &
+panicHookSlot()
+{
+    thread_local std::function<void()> panic_hook;
+    return panic_hook;
+}
 
 void
 panicImpl(const std::string &msg)
 {
     {
-        std::lock_guard<std::mutex> lock(report_mutex);
+        std::lock_guard<std::mutex> lock(reportMutex());
         std::cerr << "panic: " << msg << std::endl;
+    }
+    // Clear before invoking: an invariant tripping inside the evidence
+    // dump must abort, not recurse into the dump again.
+    if (panicHookSlot()) {
+        std::function<void()> hook = std::move(panicHookSlot());
+        panicHookSlot() = nullptr;
+        hook();
     }
     std::abort();
 }
@@ -32,7 +48,7 @@ void
 fatalImpl(const std::string &msg)
 {
     {
-        std::lock_guard<std::mutex> lock(report_mutex);
+        std::lock_guard<std::mutex> lock(reportMutex());
         std::cerr << "fatal: " << msg << std::endl;
     }
     std::exit(1);
@@ -41,16 +57,32 @@ fatalImpl(const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(report_mutex);
+    std::lock_guard<std::mutex> lock(reportMutex());
     std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(report_mutex);
+    std::lock_guard<std::mutex> lock(reportMutex());
     std::cout << "info: " << msg << std::endl;
 }
 
 } // namespace detail
+
+std::function<void()>
+setPanicHook(std::function<void()> hook)
+{
+    std::function<void()> prev = std::move(detail::panicHookSlot());
+    detail::panicHookSlot() = std::move(hook);
+    return prev;
+}
+
+void
+reportBlock(const std::string &text)
+{
+    std::lock_guard<std::mutex> lock(detail::reportMutex());
+    std::cerr << text << std::flush;
+}
+
 } // namespace fenceless

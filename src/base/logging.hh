@@ -17,12 +17,32 @@
 
 #pragma once
 
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 namespace fenceless
 {
+
+/**
+ * Install a callback that panic() runs once, after printing its message
+ * and before aborting -- the harness uses it to dump flight-recorder
+ * evidence when a simulator invariant trips mid-run.  Thread-local, so
+ * host-parallel sweep workers (harness::SweepRunner) each hook their
+ * own system and never race.  The hook is cleared before it is invoked:
+ * a panic raised *inside* the hook aborts immediately instead of
+ * recursing.  @return the previously installed hook (restore it when
+ * the guarded scope ends).
+ */
+std::function<void()> setPanicHook(std::function<void()> hook);
+
+/**
+ * Write a pre-formatted multi-line block to stderr under the same lock
+ * that serialises panic/warn lines, so a dossier printed from one sweep
+ * worker does not interleave with another worker's output.
+ */
+void reportBlock(const std::string &text);
 
 namespace detail
 {

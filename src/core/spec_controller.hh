@@ -147,6 +147,17 @@ class SpecController : public sim::SimObject,
     std::uint64_t maxSwBlocks() const { return stat_max_sw_.count(); }
     std::uint64_t maxSrBlocks() const { return stat_max_sr_.count(); }
 
+    // --- stall-dossier inspection ------------------------------------------
+
+    Tick epochStartTick() const { return epoch_start_tick_; }
+    std::uint64_t watermark() const { return watermark_; }
+    unsigned cooldown() const { return cooldown_; }
+    unsigned consecutiveRollbacks() const
+    {
+        return consecutive_rollbacks_;
+    }
+    bool stopRequested() const { return stop_requested_; }
+
   private:
     void beginEpoch();
     void noteCrossing();

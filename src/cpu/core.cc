@@ -125,6 +125,7 @@ Core::reset()
     pc_ = 0;
     instret_ = 0;
     halted_ = false;
+    pending_kind_ = PendingKind::None;
     scheduleTick(1);
 }
 
@@ -219,6 +220,7 @@ Core::loadResponse(std::uint64_t gen, std::uint64_t value)
 {
     if (gen != squash_gen_)
         return; // stale: the core was squashed while the load flew
+    pending_kind_ = PendingKind::None;
     accountStall(StallReason::LoadAccess, pending_begin_);
     stat_load_latency_.sample(
         static_cast<double>(curTick() - pending_begin_));
@@ -232,6 +234,7 @@ Core::amoResponse(std::uint64_t gen, std::uint64_t old_value)
     if (gen != squash_gen_)
         return; // stale: the core was squashed while the AMO flew
     amo_in_flight_ = false;
+    pending_kind_ = PendingKind::None;
     accountStall(StallReason::AmoAccess, pending_begin_);
     setReg(pending_rd_, old_value);
     advance(pc_ + 1);
@@ -251,6 +254,7 @@ Core::restoreAndResume(const ArchSnapshot &snap)
              " insts discarded)");
     ++squash_gen_;
     amo_in_flight_ = false;
+    pending_kind_ = PendingKind::None;
     regs_ = snap.regs;
     pc_ = snap.pc;
     stat_instructions_ = snap.instret; // discard wrong-path retirement
@@ -409,6 +413,8 @@ Core::executeLoad(const Inst &inst)
     // builds no closure and allocates nothing.
     pending_rd_ = inst.rd;
     pending_begin_ = curTick();
+    pending_kind_ = PendingKind::Load;
+    pending_addr_ = addr;
     mem::MemRequest req;
     req.op = mem::MemOp::Load;
     req.addr = addr;
@@ -485,6 +491,8 @@ Core::executeAmo(const Inst &inst)
     amo_in_flight_ = true;
     pending_rd_ = inst.rd;
     pending_begin_ = curTick();
+    pending_kind_ = PendingKind::Amo;
+    pending_addr_ = addr;
     mem::MemRequest req;
     req.op = mem::MemOp::Amo;
     req.addr = addr;

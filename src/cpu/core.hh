@@ -135,6 +135,7 @@ class Core : public sim::SimObject
     CoreId coreId() const { return core_id_; }
     ConsistencyModel model() const { return params_.model; }
     StoreBuffer &storeBuffer() { return sb_; }
+    const StoreBuffer &storeBuffer() const { return sb_; }
     mem::L1Cache &l1() { return l1_; }
     std::uint64_t instret() const { return instret_; }
 
@@ -158,6 +159,44 @@ class Core : public sim::SimObject
     };
 
     ArchSnapshot snapshot() const;
+
+    // --- stall-dossier inspection ---------------------------------------
+    // Read-only views of why the core is not running, walked at dossier
+    // time by harness::System::buildWaitGraph.  They cost nothing on
+    // the execution path: the fields below are maintained anyway for
+    // stall accounting and squash handling.
+
+    /** What the single outstanding memory access is, if any. */
+    enum class PendingKind : std::uint8_t { None, Load, Amo };
+
+    /** @return true if the core is asleep (not halted, no tick queued). */
+    bool idle() const { return !halted_ && !tick_event_.scheduled(); }
+
+    /**
+     * Why the core is asleep.  Pending memory accesses report their
+     * access reason (LoadAccess/AmoAccess) even though the sleep was
+     * entered before done_fn registration.
+     */
+    StallReason
+    sleepReason() const
+    {
+        if (pending_kind_ == PendingKind::Load)
+            return StallReason::LoadAccess;
+        if (pending_kind_ == PendingKind::Amo)
+            return StallReason::AmoAccess;
+        return sleep_reason_;
+    }
+
+    Tick sleepBegin() const { return sleep_begin_; }
+
+    /** @return true if a load/AMO is outstanding in the memory system. */
+    bool hasPendingAccess() const
+    {
+        return pending_kind_ != PendingKind::None;
+    }
+
+    /** Target address of the outstanding access (valid when pending). */
+    Addr pendingAddr() const { return pending_addr_; }
 
     /**
      * @return true while an atomic is executing at the L1.  A
@@ -262,6 +301,8 @@ class Core : public sim::SimObject
     Tick sleep_begin_ = 0;
     isa::RegId pending_rd_ = 0;
     Tick pending_begin_ = 0;
+    PendingKind pending_kind_ = PendingKind::None;
+    Addr pending_addr_ = 0;
 
     TickEvent tick_event_;
     std::function<void()> halt_cb_;

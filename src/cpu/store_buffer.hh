@@ -91,6 +91,20 @@ class StoreBuffer
     /** @return true if any entry overlaps [addr, addr+size). */
     bool hasOverlap(Addr addr, unsigned size) const;
 
+    // --- stall-dossier inspection ----------------------------------------
+
+    /** Buffered entries, oldest first (read-only, for wait graphs). */
+    const std::deque<Entry> &entries() const { return entries_; }
+
+    /** Sequence numbers of drains currently issued to the L1. */
+    const std::vector<std::uint64_t> &inflightSeqs() const
+    {
+        return inflight_;
+    }
+
+    /** @return true if a drain retry is parked (MSHR backpressure). */
+    bool retryPending() const { return retry_pending_; }
+
     // --- core-side operations -------------------------------------------
 
     /** Retire a store into the buffer (must not be full). */

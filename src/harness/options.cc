@@ -17,7 +17,8 @@ const char *known_options[] = {
     "cores", "model", "spec", "granularity", "overflow", "sb-size",
     "l1-kb", "l2-kb", "dram-latency", "net-latency", "scale", "seed",
     "jobs", "csv", "trace", "trace-out", "stats-json", "stats-interval",
-    "profile-out", "waste-report", "help",
+    "profile-out", "waste-report", "blackbox-out", "blackbox",
+    "watchdog-interval", "watchdog-storm", "help",
 };
 
 bool
@@ -76,7 +77,8 @@ Options::Options(int argc, char **argv)
     seed_ = getInt("seed", 42);
     jobs_ = static_cast<unsigned>(getInt("jobs", 0));
 
-    for (const char *opt : {"trace-out", "stats-json", "profile-out"}) {
+    for (const char *opt :
+         {"trace-out", "stats-json", "profile-out", "blackbox-out"}) {
         if (has(opt))
             requireWritable(opt, get(opt));
     }
@@ -170,6 +172,13 @@ Options::applyTo(SystemConfig base) const
         base.stats_interval = getInt("stats-interval", 0);
     if (profiling())
         base.profile = true;
+    if (has("blackbox"))
+        base.blackbox_records =
+            static_cast<std::size_t>(getInt("blackbox", 0));
+    if (has("watchdog-interval"))
+        base.watchdog_interval = getInt("watchdog-interval", 0);
+    if (has("watchdog-storm"))
+        base.watchdog_storm = getInt("watchdog-storm", 0);
     return base;
 }
 
@@ -205,6 +214,14 @@ Options::printUsage(const std::string &prog)
            "                        as JSON plus FILE.folded (flamegraph\n"
            "                        folded stacks)\n"
         << "  --waste-report        print the top-N waste table\n"
+        << "  --blackbox-out=FILE   dump the flight recorder after the\n"
+           "                        run (Chrome trace-event JSON)\n"
+        << "  --blackbox=N          flight-recorder depth per component\n"
+           "                        (default 256; 0 = off)\n"
+        << "  --watchdog-interval=N hang-watchdog window in cycles\n"
+           "                        (default 100000; 0 = off)\n"
+        << "  --watchdog-storm=N    rollbacks/window classified as a\n"
+           "                        rollback storm (default 256)\n"
         << "  --help                this message\n";
 }
 

@@ -33,6 +33,15 @@
  *     --profile-out=FILE   waste-attribution profile as JSON, plus
  *                          FILE.folded (flamegraph folded stacks)
  *     --waste-report       print the top-N waste table to stdout
+ *     --blackbox-out=FILE  dump the flight recorder after the run as
+ *                          Chrome trace-event JSON (same format as
+ *                          --trace-out, but only the ring tail)
+ *     --blackbox=N         flight-recorder depth per component
+ *                          (default 256; 0 disables the recorder)
+ *     --watchdog-interval=N  hang-watchdog window in cycles
+ *                          (default 100000; 0 disables the watchdog)
+ *     --watchdog-storm=N   rollbacks per window that classify a hang
+ *                          as a rollback storm (default 256)
  *     --help               print usage and exit
  *
  * Output paths (--trace-out, --stats-json, --profile-out) are opened
@@ -83,6 +92,9 @@ class Options
 
     /** Path for --profile-out ("" = no profile export requested). */
     std::string profileOut() const { return get("profile-out"); }
+
+    /** Path for --blackbox-out ("" = no on-demand dump requested). */
+    std::string blackboxOut() const { return get("blackbox-out"); }
 
     /** @return true if --waste-report was passed. */
     bool wasteReport() const { return has("waste-report"); }

@@ -1,11 +1,14 @@
 #include "harness/system.hh"
 
+#include <iomanip>
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/provenance.hh"
 #include "base/stats_json.hh"
 #include "base/trace.hh"
 #include "isa/interp.hh"
+#include "sim/blackbox.hh"
 
 namespace fenceless::harness
 {
@@ -28,6 +31,13 @@ System::System(const SystemConfig &config, const isa::Program &prog)
     // Per-system sink: host-parallel sweeps each get their own, so
     // recording needs no synchronisation.
     ctx_.tracer.setMask(config_.trace_mask);
+
+    // Flight recorder: before component construction so every
+    // registerComponent() grows the ring storage.
+    if (config_.blackbox_records > 0) {
+        ctx_.tracer.configureRing(config_.blackbox_records,
+                                  trace::default_blackbox_flags);
+    }
 
     // The profiler must be configured before any component construction
     // below: each component caches ifEnabled() exactly once.
@@ -77,6 +87,26 @@ System::System(const SystemConfig &config, const isa::Program &prog)
                 *cores_[i], *l1s_[i]));
         }
     }
+
+    if (config_.watchdog_interval > 0) {
+        sim::Watchdog::Params wp;
+        wp.interval = config_.watchdog_interval;
+        wp.storm_threshold = config_.watchdog_storm;
+        watchdog_ = std::make_unique<sim::Watchdog>(
+            ctx_.eventq, wp,
+            [this] {
+                sim::Watchdog::Progress p;
+                for (const auto &core : cores_)
+                    p.instret += core->instret();
+                for (const auto &s : specs_)
+                    p.rollbacks += s->rollbacks();
+                p.all_halted = halted_ == config_.num_cores;
+                return p;
+            },
+            [this](const sim::Watchdog::Report &r) {
+                onWatchdogFire(r);
+            });
+    }
 }
 
 bool
@@ -86,13 +116,28 @@ System::run()
         core->reset();
     if (config_.stats_interval > 0)
         scheduleSnapshot();
+    if (watchdog_)
+        watchdog_->start();
+
+    // If a simulator invariant trips mid-run, dump this system's
+    // evidence before aborting.  Thread-local, save/restore: nested or
+    // sibling systems (sweep workers) each guard their own run.
+    auto prev = setPanicHook([this] {
+        std::ostringstream os;
+        os << "=== incident dump (panic) ===\n";
+        writeArchState(os);
+        trace::writeBlackboxTail(os, ctx_.tracer);
+        reportBlock(os.str());
+    });
+
     ctx_.eventq.run(config_.max_cycles);
-    if (halted_ != config_.num_cores)
-        return false;
-    // Let in-flight protocol traffic (final writebacks, acks) settle so
-    // postcondition checks see a quiesced system.
-    ctx_.eventq.run(max_tick);
-    return true;
+    if (!hung_ && halted_ == config_.num_cores) {
+        // Let in-flight protocol traffic (final writebacks, acks)
+        // settle so postcondition checks see a quiesced system.
+        ctx_.eventq.run(max_tick);
+    }
+    setPanicHook(std::move(prev));
+    return !hung_ && halted_ == config_.num_cores;
 }
 
 void
@@ -119,7 +164,8 @@ System::takeSnapshot()
 void
 System::writeStatsJson(std::ostream &os) const
 {
-    os << "{\n  \"groups\": ";
+    os << "{\n  \"provenance\": " << provenance::jsonObject()
+       << ",\n  \"groups\": ";
     statistics::printGroupsJson(os, ctx_.stats);
     os << ",\n  \"snapshots\": [";
     bool first = true;
@@ -190,6 +236,256 @@ System::quiesced() const
             return false;
     }
     return dir_->quiesced();
+}
+
+void
+System::exportTrace(std::ostream &os) const
+{
+    ctx_.tracer.exportChromeJson(os, provenance::jsonObject());
+}
+
+void
+System::writeBlackbox(std::ostream &os) const
+{
+    trace::writeBlackboxJson(os, ctx_.tracer, provenance::jsonObject());
+}
+
+void
+System::writeBlackboxTail(std::ostream &os,
+                          std::size_t per_component) const
+{
+    trace::writeBlackboxTail(os, ctx_.tracer, per_component);
+}
+
+std::string
+System::symbolizePc(std::uint64_t pc) const
+{
+    auto it = prog_.code_labels.upper_bound(pc);
+    if (it == prog_.code_labels.begin())
+        return "";
+    --it;
+    std::ostringstream os;
+    os << it->second;
+    if (pc > it->first)
+        os << "+" << (pc - it->first);
+    return os.str();
+}
+
+void
+System::writeArchState(std::ostream &os) const
+{
+    for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+        const cpu::Core &core = *cores_[i];
+        os << "  core_" << i << ": pc=" << core.pc();
+        if (const std::string sym = symbolizePc(core.pc()); !sym.empty())
+            os << " (" << sym << ")";
+        os << " instret=" << core.instret() << " model="
+           << cpu::consistencyModelName(core.model());
+        if (core.halted()) {
+            os << " halted";
+        } else if (core.idle()) {
+            os << " asleep=" << cpu::stallReasonName(core.sleepReason())
+               << " since=" << core.sleepBegin();
+            if (core.hasPendingAccess())
+                os << " pending=0x" << std::hex << core.pendingAddr()
+                   << std::dec;
+        } else {
+            os << " running";
+        }
+        const auto &sb = core.storeBuffer();
+        os << " sb=" << sb.occupancy() << "/" << sb.capacity();
+        if (!specs_.empty()) {
+            const auto &spec = *specs_[i];
+            if (spec.inSpec()) {
+                os << " spec{epoch=" << spec.epoch() << " since="
+                   << spec.epochStartTick() << " watermark="
+                   << spec.watermark() << "}";
+            }
+            if (spec.cooldown() > 0)
+                os << " cooldown=" << spec.cooldown();
+            if (spec.consecutiveRollbacks() > 0)
+                os << " consec_rollbacks="
+                   << spec.consecutiveRollbacks();
+        }
+        os << "\n";
+    }
+}
+
+void
+System::buildWaitGraph(sim::WaitGraph &g) const
+{
+    using sim::WaitNode;
+    using Kind = sim::WaitNode::Kind;
+
+    const mem::NodeId dir_node = config_.num_cores;
+
+    // Cores: what is each non-running core waiting for?
+    for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+        const cpu::Core &core = *cores_[i];
+        if (core.halted() || !core.idle())
+            continue;
+        const cpu::StallReason why = core.sleepReason();
+        if (core.hasPendingAccess()) {
+            g.addEdge(WaitNode{Kind::Core, i, 0},
+                      WaitNode{Kind::Mshr, i,
+                               l1s_[i]->blockAlign(core.pendingAddr())},
+                      cpu::stallReasonName(why));
+        } else if (why == cpu::StallReason::SpecLimit) {
+            g.addEdge(WaitNode{Kind::Core, i, 0},
+                      WaitNode{Kind::SpecEpoch, i, 0},
+                      cpu::stallReasonName(why));
+        } else {
+            // All remaining sleep reasons wait on store-buffer state
+            // (drain, space, or overlap clearing).
+            g.addEdge(WaitNode{Kind::Core, i, 0},
+                      WaitNode{Kind::StoreBuffer, i, 0},
+                      cpu::stallReasonName(why));
+        }
+    }
+
+    // Store buffers: issued drains wait on the L1 miss machinery.
+    for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+        const auto &sb = cores_[i]->storeBuffer();
+        for (const auto &e : sb.entries()) {
+            if (!e.issued)
+                continue;
+            g.addEdge(WaitNode{Kind::StoreBuffer, i, 0},
+                      WaitNode{Kind::Mshr, i,
+                               l1s_[i]->blockAlign(e.addr)},
+                      "drain store issued");
+        }
+        if (sb.retryPending()) {
+            g.addEdge(WaitNode{Kind::StoreBuffer, i, 0},
+                      WaitNode{Kind::Mshr, i, 0},
+                      "drain retry parked (MSHR backpressure)");
+        }
+    }
+
+    // Speculation: an open epoch commits only after the store buffer
+    // drains to the watermark.
+    for (std::uint32_t i = 0; i < specs_.size(); ++i) {
+        if (specs_[i]->inSpec()) {
+            std::ostringstream label;
+            label << "commit waits for drain to watermark "
+                  << specs_[i]->watermark();
+            g.addEdge(WaitNode{Kind::SpecEpoch, i, 0},
+                      WaitNode{Kind::StoreBuffer, i, 0}, label.str());
+        }
+    }
+
+    // L1 MSHRs: outstanding misses wait on directory transactions;
+    // overflow-parked fills wait on the local epoch ending.
+    for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+        l1s_[i]->forEachMshr([&](const mem::L1Cache::Mshr &m) {
+            g.addEdge(WaitNode{Kind::Mshr, i, m.block_addr},
+                      WaitNode{Kind::DirTxn, 0, m.block_addr},
+                      m.want_m ? "GetM outstanding"
+                               : "GetS outstanding");
+            if (m.fill_blocked) {
+                g.addEdge(WaitNode{Kind::Mshr, i, m.block_addr},
+                          WaitNode{Kind::SpecEpoch, i, 0},
+                          "fill parked on speculative overflow");
+            }
+        });
+    }
+
+    // Directory transactions: what each active transaction awaits.
+    dir_->forEachTxn([&](const mem::Directory::TxnView &t) {
+        const WaitNode txn{Kind::DirTxn, 0, t.block};
+        const std::string phase = t.phase;
+        if (phase == "dram") {
+            g.addEdge(txn, WaitNode{Kind::Dram, 0, 0},
+                      "awaiting DRAM fill");
+        } else if (phase == "fwd") {
+            const mem::L2Block *blk = dir_->findBlock(t.block);
+            if (blk && blk->hasOwner()) {
+                std::ostringstream label;
+                label << "awaiting Fwd*Ack from owner (serving "
+                      << mem::msgTypeName(t.req_type) << " from node "
+                      << t.requester << ")";
+                g.addEdge(txn,
+                          WaitNode{Kind::Core,
+                                   static_cast<std::uint32_t>(
+                                       blk->owner),
+                                   0},
+                          label.str());
+            }
+        } else if (phase == "inv-acks") {
+            const mem::L2Block *blk = dir_->findBlock(t.block);
+            if (blk) {
+                for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+                    if (blk->isSharer(c)) {
+                        g.addEdge(txn, WaitNode{Kind::Core, c, 0},
+                                  "awaiting InvAck");
+                    }
+                }
+            }
+        }
+        // A recall transaction unblocks the request parked behind it.
+        if (t.is_recall && t.has_resume) {
+            g.addEdge(WaitNode{Kind::DirTxn, 0, t.resume_block}, txn,
+                      "blocked on recall of L2 victim");
+        }
+    });
+
+    // Network channels with traffic still in flight: informational --
+    // a populated channel means delivery (progress) is still coming.
+    network_->forEachChannel([&](mem::NodeId src, mem::NodeId dst,
+                                 const mem::Network::Channel &ch) {
+        if (ch.in_flight == 0)
+            return;
+        std::ostringstream label;
+        label << ch.in_flight << " message(s) in flight";
+        const std::uint32_t chan_id = (src << 8) | dst;
+        if (dst == dir_node) {
+            g.addEdge(WaitNode{Kind::Channel, chan_id, 0},
+                      WaitNode{Kind::Directory, 0, 0}, label.str());
+        } else {
+            g.addEdge(WaitNode{Kind::Channel, chan_id, 0},
+                      WaitNode{Kind::Core, dst, 0}, label.str());
+        }
+    });
+}
+
+void
+System::writeStallDossier(std::ostream &os) const
+{
+    os << "=== stall dossier @" << ctx_.curTick() << " ===\n";
+    os << "build: " << provenance::oneLine() << "\n";
+    if (watchdog_report_.cause != sim::Watchdog::Cause::None) {
+        os << "watchdog: cause="
+           << sim::Watchdog::causeName(watchdog_report_.cause)
+           << " window=[" << watchdog_report_.window_begin << ", "
+           << watchdog_report_.fire_tick << "] instret="
+           << watchdog_report_.instret << " rollbacks_in_window="
+           << watchdog_report_.rollbacks_in_window << "\n";
+    }
+    if (network_->droppedMsgs() > 0) {
+        os << "network: " << network_->droppedMsgs()
+           << " message(s) dropped by fault injection\n";
+    }
+    os << "architectural state:\n";
+    writeArchState(os);
+    sim::WaitGraph g;
+    buildWaitGraph(g);
+    g.print(os);
+    writeBlackboxTail(os);
+    os << "=== end dossier ===\n";
+}
+
+void
+System::onWatchdogFire(const sim::Watchdog::Report &report)
+{
+    hung_ = true;
+    watchdog_report_ = report;
+    std::ostringstream os;
+    os << "watchdog: no forward progress for " << config_.watchdog_interval
+       << " cycles; aborting the run\n";
+    std::ostringstream dossier;
+    writeStallDossier(dossier);
+    dossier_ = dossier.str();
+    reportBlock(os.str() + dossier_);
+    ctx_.eventq.requestStop();
 }
 
 void

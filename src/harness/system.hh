@@ -20,6 +20,8 @@
 #include "mem/l1_cache.hh"
 #include "mem/network.hh"
 #include "sim/sim_object.hh"
+#include "sim/waitgraph.hh"
+#include "sim/watchdog.hh"
 
 namespace fenceless::harness
 {
@@ -58,6 +60,30 @@ struct SystemConfig
      * Disabled (default) costs one null test per instrumentation site.
      */
     bool profile = false;
+
+    /**
+     * Flight-recorder depth: the last N structured events per component
+     * are kept in a fixed ring (rounded up to a power of two) and
+     * dumped on panic, watchdog abort, or demand (`--blackbox-out`).
+     * On by default -- the ring records only the low-frequency event
+     * kinds (see trace::default_blackbox_flags), keeping full-system
+     * cost within ~3%.  0 disables the recorder.
+     */
+    std::size_t blackbox_records = 256;
+
+    /**
+     * Hang-watchdog probe interval in cycles (0 disables).  If a whole
+     * interval passes in which no core retires an instruction, the run
+     * aborts with a stall dossier instead of spinning to max_cycles.
+     */
+    Tick watchdog_interval = 100'000;
+
+    /**
+     * Rollbacks within one watchdog window that, with zero retirement,
+     * classify the hang as a rollback storm (livelock) rather than a
+     * deadlock.
+     */
+    std::uint64_t watchdog_storm = 256;
 
     /** Convenience: enable on-demand block-granularity speculation. */
     SystemConfig &
@@ -150,12 +176,56 @@ class System
 
     /**
      * Write the recorded structured trace as Chrome trace-event JSON
-     * (open in ui.perfetto.dev or chrome://tracing).
+     * (open in ui.perfetto.dev or chrome://tracing), stamped with build
+     * provenance.
      */
-    void exportTrace(std::ostream &os) const
+    void exportTrace(std::ostream &os) const;
+
+    // --- incident forensics ----------------------------------------------
+
+    /** @return true if the hang watchdog aborted the last run(). */
+    bool hung() const { return hung_; }
+
+    /** The watchdog's report of the last abort (cause None if none). */
+    const sim::Watchdog::Report &
+    watchdogReport() const
     {
-        ctx_.tracer.exportChromeJson(os);
+        return watchdog_report_;
     }
+
+    /**
+     * The stall dossier captured when the watchdog fired (empty
+     * otherwise): per-core architectural state, the wait-for graph with
+     * deadlock cycles highlighted, and the flight-recorder tail.
+     */
+    const std::string &dossier() const { return dossier_; }
+
+    /**
+     * Write a stall dossier for the system's *current* state (callable
+     * at any point, not just after a watchdog abort).
+     */
+    void writeStallDossier(std::ostream &os) const;
+
+    /**
+     * Write the flight-recorder contents as a Chrome trace-event JSON
+     * document -- the same format as exportTrace, so the dump replays
+     * through the same tooling.
+     */
+    void writeBlackbox(std::ostream &os) const;
+
+    /** Write the human-readable flight-recorder tail. */
+    void writeBlackboxTail(std::ostream &os,
+                           std::size_t per_component = 8) const;
+
+    /**
+     * Walk every blocking component and register who-waits-on-whom
+     * edges (see sim/waitgraph.hh).  Deterministic: iteration follows
+     * index and address order only.
+     */
+    void buildWaitGraph(sim::WaitGraph &g) const;
+
+    /** "label+offset" for a code pc, or "" when no label covers it. */
+    std::string symbolizePc(std::uint64_t pc) const;
 
     /**
      * Write the full stat registry -- and the periodic snapshot time
@@ -196,6 +266,8 @@ class System
   private:
     void scheduleSnapshot();
     void takeSnapshot();
+    void onWatchdogFire(const sim::Watchdog::Report &report);
+    void writeArchState(std::ostream &os) const;
 
     SystemConfig config_;
     isa::Program prog_;
@@ -208,8 +280,12 @@ class System
     std::vector<std::unique_ptr<mem::L1Cache>> l1s_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::vector<std::unique_ptr<spec::SpecController>> specs_;
+    std::unique_ptr<sim::Watchdog> watchdog_;
 
     std::uint32_t halted_ = 0;
+    bool hung_ = false;
+    sim::Watchdog::Report watchdog_report_;
+    std::string dossier_;
 };
 
 } // namespace fenceless::harness

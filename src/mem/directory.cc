@@ -553,4 +553,17 @@ Directory::debugRead(Addr addr, unsigned size) const
     return backing_.readInt(addr, size);
 }
 
+const char *
+Directory::phaseName(Txn::Phase p)
+{
+    switch (p) {
+      case Txn::Phase::Start: return "start";
+      case Txn::Phase::Dram: return "dram";
+      case Txn::Phase::Fwd: return "fwd";
+      case Txn::Phase::InvAcks: return "inv-acks";
+      case Txn::Phase::Blocked: return "blocked";
+    }
+    return "?";
+}
+
 } // namespace fenceless::mem

@@ -87,6 +87,52 @@ class Directory : public sim::SimObject, public MsgReceiver
     /** @return true when no transaction is active or queued. */
     bool quiesced() const { return active_.empty() && total_pending_ == 0; }
 
+    // --- stall-dossier inspection ---------------------------------------
+
+    /**
+     * Snapshot of one active transaction, decoupled from the private
+     * Txn so wait graphs and dossiers can walk directory state without
+     * seeing protocol internals.
+     */
+    struct TxnView
+    {
+        Addr block = 0;
+        const char *phase = "?";
+        MsgType req_type = MsgType::GetS;
+        NodeId requester = 0;
+        unsigned pending_acks = 0;
+        bool is_recall = false;
+        Tick start_tick = 0;
+        bool has_resume = false;  //!< a blocked request re-dispatches after
+        Addr resume_block = 0;    //!< its block address (Blocked/recall)
+        std::uint64_t req_id = 0; //!< request-lifetime trace id
+        std::size_t queued = 0;   //!< same-block requests parked behind
+    };
+
+    /** Visit every active transaction in block-address order. */
+    template <typename Fn>
+    void
+    forEachTxn(Fn fn) const
+    {
+        for (const auto &[addr, txn] : active_) {
+            TxnView v;
+            v.block = addr;
+            v.phase = phaseName(txn.phase);
+            v.req_type = txn.req.type;
+            v.requester = txn.req.src;
+            v.pending_acks = txn.pending_acks;
+            v.is_recall = txn.is_recall;
+            v.start_tick = txn.start_tick;
+            v.has_resume = txn.resume.has_value();
+            if (txn.resume)
+                v.resume_block = txn.resume->block_addr;
+            v.req_id = txn.req.req_id;
+            if (auto it = pending_.find(addr); it != pending_.end())
+                v.queued = it->second.size();
+            fn(v);
+        }
+    }
+
   private:
     struct Txn
     {
@@ -114,6 +160,8 @@ class Directory : public sim::SimObject, public MsgReceiver
         Tick recv_tick;
         Msg msg;
     };
+
+    static const char *phaseName(Txn::Phase p);
 
     // dispatch / queueing
     void dispatch(const Msg &msg);

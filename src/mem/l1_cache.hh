@@ -176,6 +176,29 @@ class L1Cache : public sim::SimObject, public MsgReceiver
     /** @return true when no miss or writeback is in flight. */
     bool quiesced() const { return mshrs_.empty() && wb_buffer_.empty(); }
 
+    /** Miss status holding register (public: wait graphs walk these). */
+    struct Mshr
+    {
+        Addr block_addr;
+        bool want_m;                 //!< GetM (vs GetS) outstanding
+        std::deque<MemRequest> waiting;
+        bool fill_pending = false;   //!< fill buffered, no way available
+        bool fill_blocked = false; //!< fill parked: no evictable way
+        Msg fill;
+        std::uint64_t req_id = 0;    //!< request-lifetime trace id
+        Tick miss_start = 0;         //!< tick the miss was issued
+        Tick fill_arrival = 0;       //!< tick the fill data arrived
+    };
+
+    /** Visit every outstanding MSHR in block-address order. */
+    template <typename Fn>
+    void
+    forEachMshr(Fn fn) const
+    {
+        for (const auto &[addr, mshr] : mshrs_)
+            fn(mshr);
+    }
+
   private:
     /** An in-flight eviction awaiting PutAck from the directory. */
     struct WbEntry
@@ -191,20 +214,6 @@ class L1Cache : public sim::SimObject, public MsgReceiver
         State state;
         bool has_data;
         std::vector<std::uint8_t> data;
-    };
-
-    /** Miss status holding register. */
-    struct Mshr
-    {
-        Addr block_addr;
-        bool want_m;                 //!< GetM (vs GetS) outstanding
-        std::deque<MemRequest> waiting;
-        bool fill_pending = false;   //!< fill buffered, no way available
-        bool fill_blocked = false; //!< fill parked: no evictable way
-        Msg fill;
-        std::uint64_t req_id = 0;    //!< request-lifetime trace id
-        Tick miss_start = 0;         //!< tick the miss was issued
-        Tick fill_arrival = 0;       //!< tick the fill data arrived
     };
 
     // request path

@@ -1,5 +1,6 @@
 #include "mem/network.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "base/logging.hh"
@@ -66,6 +67,8 @@ Network::Network(sim::SimContext &ctx, const std::string &name,
                                             "data-carrying messages")),
       stat_ctrl_msgs_(statGroup().addScalar("ctrl_msgs",
                                             "control messages")),
+      stat_dropped_(statGroup().addScalar("dropped_msgs",
+          "messages discarded by fault injection (drop_fwd_acks_for)")),
       stat_msg_latency_(statGroup().addDistribution("msg_latency",
           "cycles from send to delivery (latency + serialization + "
           "channel backpressure)"))
@@ -93,6 +96,19 @@ Network::send(Msg msg)
 {
     flAssert(msg.dst < endpoints_.size() && endpoints_[msg.dst],
              "message to unregistered endpoint ", msg.dst);
+
+    // Fault injection (tests only): swallow the owner's probe response
+    // before it touches channel state, wedging the directory's forward
+    // phase exactly as a lost message would.
+    if ((msg.type == MsgType::FwdDataAck ||
+         msg.type == MsgType::FwdNoDataAck) &&
+        std::find(params_.drop_fwd_acks_for.begin(),
+                  params_.drop_fwd_acks_for.end(),
+                  msg.block_addr) != params_.drop_fwd_acks_for.end()) {
+        ++stat_dropped_;
+        return;
+    }
+
     msg.sent_tick = curTick();
 
     const Cycles serialization =
@@ -105,6 +121,7 @@ Network::send(Msg msg)
     if (arrival <= ch.last_arrival)
         arrival = ch.last_arrival + serialization;
     ch.last_arrival = arrival;
+    ++ch.in_flight;
 
     ++stat_msgs_;
     stat_bytes_ += msg.sizeBytes();
@@ -129,6 +146,7 @@ void
 Network::deliver(const Msg &msg)
 {
     const Tick latency = curTick() - msg.sent_tick;
+    --channels_[{msg.src, msg.dst}].in_flight;
     stat_msg_latency_.sample(static_cast<double>(latency));
     FL_TEVENT(*this, trace::EventKind::NetHop, msg.req_id, latency,
               static_cast<std::uint32_t>(msg.type));

@@ -37,6 +37,15 @@ class Network : public sim::SimObject
     {
         Cycles latency = 8;           //!< base traversal latency
         std::uint32_t link_bytes_per_cycle = 16;
+        /**
+         * Fault injection: silently drop FwdDataAck/FwdNoDataAck
+         * messages for these block addresses.  The owner believes it
+         * answered the probe; the directory transaction waits forever
+         * -- a deterministic, protocol-shaped deadlock used to test the
+         * hang watchdog and wait-for-graph dossiers.  Empty in any
+         * honest configuration.
+         */
+        std::vector<Addr> drop_fwd_acks_for;
     };
 
     Network(sim::SimContext &ctx, const std::string &name,
@@ -48,11 +57,30 @@ class Network : public sim::SimObject
     /** Send a message; delivery is scheduled on the event queue. */
     void send(Msg msg);
 
-  private:
+    // --- stall-dossier inspection ---------------------------------------
+
     struct Channel
     {
         Tick last_arrival = 0;
+        std::uint64_t in_flight = 0; //!< sent, not yet delivered
     };
+
+    /** Visit every channel that has ever carried a message. */
+    template <typename Fn>
+    void
+    forEachChannel(Fn fn) const
+    {
+        for (const auto &[key, ch] : channels_)
+            fn(key.first, key.second, ch);
+    }
+
+    /** Fault-injected drops so far (see Params::drop_fwd_acks_for). */
+    std::uint64_t droppedMsgs() const
+    {
+        return static_cast<std::uint64_t>(stat_dropped_.value());
+    }
+
+  private:
 
     struct DeliveryEvent : public sim::Event
     {
@@ -77,6 +105,7 @@ class Network : public sim::SimObject
     statistics::Scalar &stat_bytes_;
     statistics::Scalar &stat_data_msgs_;
     statistics::Scalar &stat_ctrl_msgs_;
+    statistics::Scalar &stat_dropped_; //!< fault-injected drops
     statistics::Distribution &stat_msg_latency_;
 };
 

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Flight-recorder ("blackbox") dumps.
+ *
+ * The TraceSink keeps a small always-on ring of the last N structured
+ * events per component (see TraceSink::configureRing).  This module is
+ * the dump side: it merges the per-component rings into one totally
+ * ordered record stream (by global push sequence, so the merge is
+ * deterministic even when several components record at the same tick)
+ * and writes it out two ways:
+ *
+ *  - writeBlackboxJson(): the merged tail in the exact Chrome
+ *    trace-event format `--trace-out` produces, so an incident dump
+ *    loads in ui.perfetto.dev and replays through the same tooling as
+ *    a full trace.
+ *  - writeBlackboxTail(): a human-readable per-component tail for
+ *    terminals and dossiers -- the last few events of every component
+ *    with decoded payloads.
+ *
+ * Dumps happen on assert/panic, postcondition failure, watchdog abort,
+ * or on demand (`--blackbox-out`); see harness::System.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/trace_sink.hh"
+
+namespace fenceless::trace
+{
+
+/**
+ * Default ring mask: everything except per-instruction commit counters.
+ * CoreCommit fires once per retired instruction -- recording it would
+ * put a ring store on the single hottest path in the simulator; the
+ * stall/spec/request/network kinds that matter for incident forensics
+ * fire orders of magnitude less often, which is how the always-on
+ * recorder stays within its <=3% full-system budget.
+ */
+inline constexpr std::uint32_t default_blackbox_flags =
+    static_cast<std::uint32_t>(Flag::All) &
+    ~static_cast<std::uint32_t>(Flag::Core);
+
+/**
+ * The flight-recorder contents as one stream, merged across components
+ * in push order (oldest surviving event first).
+ */
+std::vector<TraceRecord> blackboxRecords(const TraceSink &sink);
+
+/**
+ * Write the merged ring tail as a Chrome trace-event JSON document --
+ * the same format as TraceSink::exportChromeJson, so the dump is a
+ * valid `--trace-out` file.  @p provenance_json (may be empty) is
+ * embedded as a top-level "provenance" key.
+ */
+void writeBlackboxJson(std::ostream &os, const TraceSink &sink,
+                       const std::string &provenance_json);
+
+/**
+ * Write a human-readable tail: for each component, the last
+ * @p per_component ring events with decoded arguments.  Used inside
+ * stall dossiers and panic dumps.
+ */
+void writeBlackboxTail(std::ostream &os, const TraceSink &sink,
+                       std::size_t per_component = 8);
+
+} // namespace fenceless::trace

@@ -270,6 +270,18 @@ class EventQueue
      */
     Tick run(Tick max_tick = fenceless::max_tick);
 
+    /**
+     * Make the current run() return before firing another event.  Used
+     * by the hang watchdog: its abort must unwind out of the event loop
+     * (so the harness can dump a dossier and exit cleanly) rather than
+     * terminate the process from inside an event handler.  The flag is
+     * consumed by the run() it stops; a later run() call starts fresh.
+     */
+    void requestStop() { stop_requested_ = true; }
+
+    /** @return true if requestStop() ended (or will end) a run. */
+    bool stopRequested() const { return stop_requested_; }
+
     /** Fire exactly one event if any is pending. @return true if fired. */
     bool step();
 
@@ -391,6 +403,7 @@ class EventQueue
     std::uint64_t stale_pops_ = 0;
     std::uint64_t near_pops_ = 0;
     std::uint64_t far_pops_ = 0;
+    bool stop_requested_ = false;
 
     std::vector<std::unique_ptr<OneShot>> oneshot_nodes_; //!< ownership
     OneShot *oneshot_free_ = nullptr; //!< intrusive free list head

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "base/provenance.hh"
 
 namespace fenceless::prof
 {
@@ -276,7 +277,8 @@ jsonEscape(std::ostream &os, const std::string &s)
 void
 Profile::writeJson(std::ostream &os) const
 {
-    os << "{\n  \"buckets\": [";
+    os << "{\n  \"provenance\": " << provenance::jsonObject()
+       << ",\n  \"buckets\": [";
     for (std::size_t b = 0; b < num_buckets; ++b) {
         os << (b ? ", " : "") << "\""
            << cycleBucketName(static_cast<CycleBucket>(b)) << "\"";

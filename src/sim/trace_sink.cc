@@ -1,6 +1,7 @@
 #include "sim/trace_sink.hh"
 
 #include <algorithm>
+#include <functional>
 #include <map>
 #include <ostream>
 
@@ -28,30 +29,34 @@ eventKindName(EventKind k)
     return "?";
 }
 
-Flag
-eventKindFlag(EventKind k)
-{
-    switch (k) {
-      case EventKind::CoreCommit: return Flag::Core;
-      case EventKind::CoreStall: return Flag::Stall;
-      case EventKind::SpecEpoch:
-      case EventKind::SpecRollback: return Flag::Spec;
-      case EventKind::SbOccupancy: return Flag::SB;
-      case EventKind::ReqIssue:
-      case EventKind::ReqDirIngress:
-      case EventKind::ReqDirDone:
-      case EventKind::ReqFill: return Flag::Req;
-      case EventKind::NetHop: return Flag::Net;
-      case EventKind::NumKinds: break;
-    }
-    return Flag::All;
-}
-
 std::uint16_t
 TraceSink::registerComponent(const std::string &name)
 {
     components_.push_back(name);
+    ring_heads_.push_back(0);
+    if (ring_capacity_ > 0)
+        ring_.resize(components_.size() * ring_capacity_);
     return static_cast<std::uint16_t>(components_.size() - 1);
+}
+
+void
+TraceSink::configureRing(std::size_t records_per_comp,
+                         std::uint32_t flags)
+{
+    if (records_per_comp == 0 || flags == 0) {
+        ring_flags_ = 0;
+        ring_capacity_ = 0;
+        ring_.clear();
+        return;
+    }
+    std::size_t cap = 1;
+    while (cap < records_per_comp)
+        cap <<= 1;
+    ring_capacity_ = cap;
+    ring_flags_ = flags;
+    ring_.assign(components_.size() * ring_capacity_, RingEntry{});
+    std::fill(ring_heads_.begin(), ring_heads_.end(), 0);
+    ring_seq_ = 0;
 }
 
 void
@@ -122,26 +127,38 @@ writeCommon(std::ostream &os, const char *name, const char *ph,
        << "\", \"ts\": " << ts << ", \"pid\": 0, \"tid\": " << tid;
 }
 
-} // namespace
+using RecordVisitor = std::function<void(const TraceRecord &)>;
 
+/**
+ * The exporter body, parameterised over the record source so the full
+ * chunked trace and the merged flight-recorder rings share one format
+ * (a blackbox dump is a valid --trace-out file).
+ */
 void
-TraceSink::exportChromeJson(std::ostream &os) const
+writeChromeJson(std::ostream &os, const TraceSink &sink,
+                const std::function<void(const RecordVisitor &)> &each,
+                std::uint64_t dropped,
+                const std::string &provenance_json)
 {
-    os << "{\"traceEvents\": [";
+    if (!provenance_json.empty())
+        os << "{\"provenance\": " << provenance_json
+           << ",\n \"traceEvents\": [";
+    else
+        os << "{\"traceEvents\": [";
     EventWriter w(os);
 
     // Track names.  One Chrome "thread" per simulated component.
     w.next() << "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0"
              << ", \"args\": {\"name\": \"fenceless\"}}";
-    for (std::size_t i = 0; i < components_.size(); ++i) {
+    for (std::size_t i = 0; i < sink.components().size(); ++i) {
         w.next() << "{\"name\": \"thread_name\", \"ph\": \"M\", "
                  << "\"pid\": 0, \"tid\": " << i
-                 << ", \"args\": {\"name\": \"" << components_[i]
+                 << ", \"args\": {\"name\": \"" << sink.components()[i]
                  << "\"}}";
     }
-    if (dropped_) {
+    if (dropped) {
         w.next() << "{\"name\": \"dropped_events\", \"ph\": \"M\", "
-                 << "\"pid\": 0, \"args\": {\"count\": " << dropped_
+                 << "\"pid\": 0, \"args\": {\"count\": " << dropped
                  << "}}";
     }
 
@@ -150,7 +167,7 @@ TraceSink::exportChromeJson(std::ostream &os) const
     // recording order.
     std::map<std::uint64_t, std::vector<const TraceRecord *>> flows;
 
-    forEach([&](const TraceRecord &r) {
+    each([&](const TraceRecord &r) {
         const auto kind = static_cast<EventKind>(r.kind);
         const char *name = eventKindName(kind);
         switch (kind) {
@@ -169,7 +186,7 @@ TraceSink::exportChromeJson(std::ostream &os) const
             const Tick dur = r.tick > r.a0 ? r.tick - r.a0 : 1;
             writeCommon(w.next(), name, "X", r.a0, r.comp);
             os << ", \"dur\": " << dur << ", \"args\": {\"reason\": \""
-               << auxName(kind, r.aux) << "\"}}";
+               << sink.auxName(kind, r.aux) << "\"}}";
             break;
           }
 
@@ -186,7 +203,7 @@ TraceSink::exportChromeJson(std::ostream &os) const
           case EventKind::SpecRollback:
             writeCommon(w.next(), name, "i", r.tick, r.comp);
             os << ", \"s\": \"t\", \"args\": {\"cause\": \""
-               << auxName(kind, r.aux) << "\", \"discarded_insts\": "
+               << sink.auxName(kind, r.aux) << "\", \"discarded_insts\": "
                << r.a1 << "}}";
             break;
 
@@ -194,7 +211,7 @@ TraceSink::exportChromeJson(std::ostream &os) const
             writeCommon(w.next(), name, "i", r.tick, r.comp);
             os << ", \"s\": \"t\", \"args\": {\"req\": " << r.a0
                << ", \"latency\": " << r.a1 << ", \"msg\": \""
-               << auxName(kind, r.aux) << "\"}}";
+               << sink.auxName(kind, r.aux) << "\"}}";
             break;
 
           case EventKind::ReqIssue:
@@ -243,6 +260,32 @@ TraceSink::exportChromeJson(std::ostream &os) const
     }
 
     os << "\n  ],\n  \"displayTimeUnit\": \"ns\"\n}\n";
+}
+
+} // namespace
+
+void
+TraceSink::exportChromeJson(std::ostream &os,
+                            const std::string &provenance_json) const
+{
+    writeChromeJson(
+        os, *this, [this](const RecordVisitor &fn) { forEach(fn); },
+        dropped_, provenance_json);
+}
+
+void
+TraceSink::exportChromeJsonFor(std::ostream &os,
+                               const std::vector<TraceRecord> &records,
+                               std::uint64_t dropped,
+                               const std::string &provenance_json) const
+{
+    writeChromeJson(
+        os, *this,
+        [&records](const RecordVisitor &fn) {
+            for (const TraceRecord &r : records)
+                fn(r);
+        },
+        dropped, provenance_json);
 }
 
 } // namespace fenceless::trace

@@ -26,6 +26,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -66,8 +67,30 @@ enum class EventKind : std::uint16_t
 
 const char *eventKindName(EventKind k);
 
-/** The Flag that gates recording of @p k (how FL_TEVENT filters). */
-Flag eventKindFlag(EventKind k);
+/**
+ * The Flag that gates recording of @p k (how FL_TEVENT filters).
+ * constexpr so the per-site guard folds to a compile-time constant:
+ * every FL_TEVENT passes a literal kind, and with tracing off the whole
+ * guard reduces to one inline mask test against a constant bit.
+ */
+constexpr Flag
+eventKindFlag(EventKind k)
+{
+    switch (k) {
+      case EventKind::CoreCommit: return Flag::Core;
+      case EventKind::CoreStall: return Flag::Stall;
+      case EventKind::SpecEpoch:
+      case EventKind::SpecRollback: return Flag::Spec;
+      case EventKind::SbOccupancy: return Flag::SB;
+      case EventKind::ReqIssue:
+      case EventKind::ReqDirIngress:
+      case EventKind::ReqDirDone:
+      case EventKind::ReqFill: return Flag::Req;
+      case EventKind::NetHop: return Flag::Net;
+      case EventKind::NumKinds: break;
+    }
+    return Flag::All;
+}
 
 /** One recorded event.  32 bytes, trivially copyable. */
 struct TraceRecord
@@ -81,6 +104,17 @@ struct TraceRecord
 };
 
 static_assert(sizeof(TraceRecord) == 32, "keep trace records compact");
+
+/**
+ * One flight-recorder ring slot: the record plus a global push sequence
+ * number, so the per-component rings merge into one totally ordered
+ * stream at dump time without any per-event timestamp comparison.
+ */
+struct RingEntry
+{
+    TraceRecord rec;
+    std::uint64_t seq = 0; //!< 0 = slot never written
+};
 
 class TraceSink
 {
@@ -104,11 +138,28 @@ class TraceSink
     /** @return true if any structured tracing is enabled. */
     bool enabled() const { return mask_ != 0; }
 
+    /**
+     * Configure the flight-recorder ring: the last @p records_per_comp
+     * events (flag-filtered by @p flags) of every component are kept in
+     * a fixed ring and survive until dumped -- the incident evidence
+     * for stall dossiers and panic dumps (see sim/blackbox.hh).  The
+     * capacity is rounded up to a power of two; 0 disables the ring.
+     * Safe to call before or after components register.
+     */
+    void configureRing(std::size_t records_per_comp, std::uint32_t flags);
+
+    std::size_t ringCapacity() const { return ring_capacity_; }
+    std::uint32_t ringFlags() const { return ring_flags_; }
+
+    /** Total events ever pushed into the ring (across components). */
+    std::uint64_t ringPushes() const { return ring_seq_; }
+
     /** @return true if events gated by @p f should be recorded. */
     bool
     wants(Flag f) const
     {
-        return (mask_ & static_cast<std::uint32_t>(f)) != 0;
+        return ((mask_ | ring_flags_) &
+                static_cast<std::uint32_t>(f)) != 0;
     }
 
     // --- component / request identity ------------------------------------
@@ -136,12 +187,39 @@ class TraceSink
 
     // --- recording (hot path) --------------------------------------------
 
-    /** Append one event.  Call through FL_TEVENT, not directly. */
+    /**
+     * Append one event.  Call through FL_TEVENT, not directly.  The
+     * event goes to the flight-recorder ring, the full chunked trace,
+     * or both, depending on which mask wants its kind: wants() gates on
+     * the union, so this re-checks each destination.
+     */
     void
     record(std::uint16_t comp, EventKind kind, Tick tick,
            std::uint64_t a0 = 0, std::uint64_t a1 = 0,
            std::uint32_t aux = 0)
     {
+        const auto bit =
+            static_cast<std::uint32_t>(eventKindFlag(kind));
+        if (ring_flags_ & bit) {
+            // Ring write: one indexed store and two counter bumps.
+            // This is the always-on flight-recorder hot path; keep it
+            // branch-light (capacity is a power of two).
+            std::uint64_t &head = ring_heads_[comp];
+            ring_[comp * ring_capacity_ +
+                  (head & (ring_capacity_ - 1))] =
+                RingEntry{TraceRecord{tick, a0, a1, comp,
+                                      static_cast<std::uint16_t>(kind),
+                                      aux},
+                          ++ring_seq_};
+            ++head;
+        }
+        // The full chunked trace takes the kinds the mask asks for.
+        // An entirely unconfigured sink (no mask, no ring) keeps the
+        // legacy behaviour of storing every direct record() call:
+        // wants() is false for everything then, so FL_TEVENT never
+        // gets here and only explicit callers (tests, tools) do.
+        if (!(mask_ & bit) && (mask_ | ring_flags_) != 0)
+            return;
         if (size_ >= max_records_) {
             ++dropped_;
             return;
@@ -169,15 +247,48 @@ class TraceSink
                 fn(r);
     }
 
+    /**
+     * Visit component @p comp's ring entries, oldest to newest.  Only
+     * written slots are visited, so a short run yields fewer than
+     * ringCapacity() entries.
+     */
+    template <typename Fn>
+    void
+    forEachRingEntry(std::uint16_t comp, Fn fn) const
+    {
+        if (ring_capacity_ == 0 || comp >= ring_heads_.size())
+            return;
+        const std::uint64_t head = ring_heads_[comp];
+        const std::uint64_t count = std::min<std::uint64_t>(
+            head, static_cast<std::uint64_t>(ring_capacity_));
+        const std::size_t base = comp * ring_capacity_;
+        for (std::uint64_t i = head - count; i < head; ++i)
+            fn(ring_[base + (i & (ring_capacity_ - 1))]);
+    }
+
     /** Discard all recorded events (identity registrations survive). */
     void clear();
 
     /**
      * Write everything as a Chrome trace-event JSON object
      * (`{"traceEvents": [...]}`), loadable by chrome://tracing and
-     * ui.perfetto.dev.  Ticks are exported as microseconds 1:1.
+     * ui.perfetto.dev.  Ticks are exported as microseconds 1:1.  A
+     * non-empty @p provenance_json (see base/provenance.hh) is embedded
+     * as a top-level "provenance" key.
      */
-    void exportChromeJson(std::ostream &os) const;
+    void exportChromeJson(std::ostream &os,
+                          const std::string &provenance_json = "") const;
+
+    /**
+     * Export an arbitrary record sequence -- e.g. the merged flight-
+     * recorder rings -- in the same Chrome trace-event format, using
+     * this sink's component and aux-name registrations for identity.
+     */
+    void
+    exportChromeJsonFor(std::ostream &os,
+                        const std::vector<TraceRecord> &records,
+                        std::uint64_t dropped,
+                        const std::string &provenance_json) const;
 
   private:
     void addChunk();
@@ -190,6 +301,14 @@ class TraceSink
     std::vector<std::vector<TraceRecord>> chunks_;
     std::vector<std::string> components_;
     std::vector<std::vector<std::string>> aux_names_;
+
+    // Flight-recorder ring: component-major fixed storage, one write
+    // head per component, one global push sequence shared by all.
+    std::uint32_t ring_flags_ = 0;
+    std::size_t ring_capacity_ = 0; //!< slots per component (power of 2)
+    std::uint64_t ring_seq_ = 0;
+    std::vector<RingEntry> ring_;
+    std::vector<std::uint64_t> ring_heads_;
 };
 
 } // namespace fenceless::trace

@@ -1,0 +1,127 @@
+#include "sim/waitgraph.hh"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace fenceless::sim
+{
+
+std::string
+WaitNode::toString() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::Core:
+        os << "core_" << id;
+        break;
+      case Kind::StoreBuffer:
+        os << "core_" << id << ".sb";
+        break;
+      case Kind::SpecEpoch:
+        os << "core_" << id << ".spec";
+        break;
+      case Kind::Mshr:
+        os << "l1_" << id << ".mshr[0x" << std::hex << addr << "]";
+        break;
+      case Kind::DirTxn:
+        os << "l2dir.txn[0x" << std::hex << addr << "]";
+        break;
+      case Kind::Directory:
+        os << "l2dir";
+        break;
+      case Kind::Channel:
+        os << "net[" << (id >> 8) << "->" << (id & 0xff) << "]";
+        break;
+      case Kind::Dram:
+        os << "dram";
+        break;
+    }
+    return os.str();
+}
+
+std::vector<std::vector<WaitNode>>
+WaitGraph::cycles() const
+{
+    // Index the distinct nodes in sorted order so enumeration is
+    // independent of the order edges were registered in.
+    std::map<WaitNode, std::size_t> index;
+    std::vector<WaitNode> nodes;
+    for (const auto &e : edges_) {
+        for (const WaitNode &n : {e.from, e.to}) {
+            if (index.emplace(n, 0).second)
+                nodes.push_back(n);
+        }
+    }
+    std::sort(nodes.begin(), nodes.end());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        index[nodes[i]] = i;
+
+    std::vector<std::vector<std::size_t>> adj(nodes.size());
+    for (const auto &e : edges_)
+        adj[index[e.from]].push_back(index[e.to]);
+    for (auto &a : adj) {
+        std::sort(a.begin(), a.end());
+        a.erase(std::unique(a.begin(), a.end()), a.end());
+    }
+
+    // Enumerate elementary cycles: DFS from each root in sorted order,
+    // restricted to nodes >= root, so every cycle is found exactly once
+    // and rooted at its smallest node (canonical rotation for free).
+    std::vector<std::vector<WaitNode>> out;
+    std::vector<std::size_t> path;
+    std::vector<char> on_path(nodes.size(), 0);
+
+    auto dfs = [&](auto &&self, std::size_t root,
+                   std::size_t at) -> void {
+        path.push_back(at);
+        on_path[at] = 1;
+        for (std::size_t next : adj[at]) {
+            if (next == root) {
+                std::vector<WaitNode> cyc;
+                for (std::size_t i : path)
+                    cyc.push_back(nodes[i]);
+                out.push_back(std::move(cyc));
+            } else if (next > root && !on_path[next]) {
+                self(self, root, next);
+            }
+        }
+        on_path[at] = 0;
+        path.pop_back();
+    };
+    for (std::size_t root = 0; root < nodes.size(); ++root)
+        dfs(dfs, root, root);
+
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+void
+WaitGraph::print(std::ostream &os) const
+{
+    if (edges_.empty()) {
+        os << "wait-for graph: empty (no component reports a blocked "
+              "agent)\n";
+        return;
+    }
+    os << "wait-for graph (" << edges_.size() << " edges):\n";
+    for (const auto &e : edges_) {
+        os << "  " << e.from.toString() << " -> " << e.to.toString()
+           << "  [" << e.label << "]\n";
+    }
+    const auto cyc = cycles();
+    if (cyc.empty()) {
+        os << "no wait-for cycle: the hang is not a resource deadlock "
+              "(suspect a lost message or an unscheduled event)\n";
+        return;
+    }
+    for (const auto &c : cyc) {
+        os << "DEADLOCK CYCLE:";
+        for (const auto &n : c)
+            os << " " << n.toString() << " ->";
+        os << " " << c.front().toString() << "\n";
+    }
+}
+
+} // namespace fenceless::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Wait-for graph for stall dossiers.
+ *
+ * When a hang is detected (or a dossier is requested), every component
+ * that can block progress reports "who waits on what, held by whom" as
+ * directed edges: an idle core waits on its MSHR, the MSHR waits on a
+ * directory transaction, a directory transaction in its forward phase
+ * waits on the owning core's acknowledgement, and so on.  The graph is
+ * built *on demand* by walking component state -- registering edges
+ * costs nothing on the simulation hot path, and walking a quiesced
+ * system is deterministic, so dossiers are byte-identical across runs
+ * and across `--jobs=N` sweep placements.
+ *
+ * Cycle detection names true deadlocks: a cycle in the wait-for graph
+ * is a set of agents each holding a resource the next one needs.  A
+ * hang with *no* cycle points at a different disease (a dropped
+ * message, an event never scheduled, livelock) and the dossier says so.
+ */
+
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace fenceless::sim
+{
+
+/** One vertex: a waiting agent or a held resource. */
+struct WaitNode
+{
+    enum class Kind : std::uint8_t
+    {
+        Core,        //!< id = core index
+        StoreBuffer, //!< id = owning core index
+        SpecEpoch,   //!< id = owning core index
+        Mshr,        //!< id = L1 index, addr = block address
+        DirTxn,      //!< addr = block address of the transaction
+        Directory,   //!< the directory/L2 as a whole
+        Channel,     //!< id = (src << 8) | dst network endpoint pair
+        Dram,        //!< backing memory
+    };
+
+    Kind kind = Kind::Core;
+    std::uint32_t id = 0;
+    Addr addr = 0;
+
+    auto operator<=>(const WaitNode &) const = default;
+
+    std::string toString() const;
+};
+
+/** One edge: @p from cannot make progress until @p to releases/acts. */
+struct WaitEdge
+{
+    WaitNode from;
+    WaitNode to;
+    std::string label; //!< why, e.g. "load miss outstanding"
+};
+
+class WaitGraph
+{
+  public:
+    void
+    addEdge(WaitNode from, WaitNode to, std::string label)
+    {
+        edges_.push_back({from, to, std::move(label)});
+    }
+
+    const std::vector<WaitEdge> &edges() const { return edges_; }
+    bool empty() const { return edges_.empty(); }
+
+    /**
+     * Every elementary cycle, as node sequences (first node repeated at
+     * the end is implied, not stored).  Each cycle is rotated so its
+     * smallest node comes first and the list is sorted, so output is
+     * independent of edge registration order.
+     */
+    std::vector<std::vector<WaitNode>> cycles() const;
+
+    /**
+     * Human-readable dump: every edge, then each cycle highlighted, or
+     * a "no wait-for cycle" note when the graph is acyclic.
+     */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<WaitEdge> edges_;
+};
+
+} // namespace fenceless::sim

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Hang / livelock watchdog.
+ *
+ * A wedged simulation is worse than a crashed one: a deadlocked
+ * directory transaction leaves cores asleep and the event queue either
+ * drains (silent early exit) or spins on housekeeping events until
+ * max_cycles, telling the user nothing.  The watchdog turns both into
+ * a prompt, diagnosable abort.
+ *
+ * Mechanism: a low-frequency recurring event (default every 100k
+ * cycles, priority prio_stat so it never perturbs same-tick component
+ * ordering) samples a progress probe -- the sum of retired instructions
+ * and rollbacks across all cores.  If a full window passes in which no
+ * core retired anything, that's a hang (NoRetirement); if nothing
+ * retired but rollbacks exceeded a storm threshold, that's a livelock
+ * (RollbackStorm -- cores are spinning through speculation rollbacks
+ * without net progress; note SpecController's exponential cooldown
+ * makes benign rollback-heavy workloads like dekker retire *some*
+ * instructions every window, so they never trip this).
+ *
+ * The watchdog itself keeps the event queue non-empty, so a fully
+ * wedged system still reaches the next check instead of exiting the
+ * run loop as "quiesced".  Cost: one callback per interval -- zero
+ * per-event overhead.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "base/types.hh"
+#include "sim/eventq.hh"
+
+namespace fenceless::sim
+{
+
+class Watchdog
+{
+  public:
+    struct Params
+    {
+        Tick interval = 100'000;     //!< cycles between progress checks
+        std::uint64_t storm_threshold = 256; //!< rollbacks/window => storm
+    };
+
+    /** What the probe reports each window. */
+    struct Progress
+    {
+        std::uint64_t instret = 0;   //!< total retired, all cores
+        std::uint64_t rollbacks = 0; //!< total rollbacks, all cores
+        bool all_halted = false;     //!< every core has halted cleanly
+    };
+
+    enum class Cause : std::uint8_t
+    {
+        None,
+        NoRetirement,  //!< no core retired an instruction all window
+        RollbackStorm, //!< rollbacks without net retirement
+    };
+
+    struct Report
+    {
+        Cause cause = Cause::None;
+        Tick window_begin = 0;
+        Tick fire_tick = 0;
+        std::uint64_t instret = 0;   //!< total retired at fire time
+        std::uint64_t rollbacks_in_window = 0;
+    };
+
+    Watchdog(EventQueue &eventq, Params params,
+             std::function<Progress()> probe,
+             std::function<void(const Report &)> on_fire)
+        : eventq_(eventq), params_(params), probe_(std::move(probe)),
+          on_fire_(std::move(on_fire)),
+          check_event_([this] { check(); }, "watchdog",
+                       Event::prio_stat)
+    {}
+
+    /**
+     * A run that stops on its cycle budget (or an error) leaves the
+     * next check pending; pull it off the queue so destroying the
+     * system does not trip the destroyed-while-scheduled assertion.
+     */
+    ~Watchdog()
+    {
+        if (check_event_.scheduled())
+            eventq_.deschedule(&check_event_);
+    }
+
+    /** Prime the baseline from the probe and schedule the first check. */
+    void start();
+
+    bool fired() const { return report_.cause != Cause::None; }
+    const Report &report() const { return report_; }
+
+    static const char *causeName(Cause c);
+
+  private:
+    void check();
+
+    EventQueue &eventq_;
+    Params params_;
+    std::function<Progress()> probe_;
+    std::function<void(const Report &)> on_fire_;
+    EventFunctionWrapper check_event_;
+
+    Tick window_begin_ = 0;
+    std::uint64_t last_instret_ = 0;
+    std::uint64_t last_rollbacks_ = 0;
+    Report report_;
+};
+
+} // namespace fenceless::sim

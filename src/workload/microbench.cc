@@ -657,6 +657,109 @@ LocalLockStream::check(const MemReader &read, std::uint32_t num_threads,
 }
 
 // ---------------------------------------------------------------------
+// SeededDeadlock
+// ---------------------------------------------------------------------
+
+isa::Program
+SeededDeadlock::build(std::uint32_t)
+{
+    Assembler as;
+    const Addr x = as.paddedWord("X", 0);
+    const Addr y = as.paddedWord("Y", 0);
+    const Addr barrier = as.paddedWord("barrier", 0);
+    const Addr done = as.alloc("done", 2 * 64, 64);
+    const Addr result = as.alloc("result", 2 * 64, 64);
+    as.init64(done, 0);
+    as.init64(done + 64, 0);
+    as.init64(result, 0);
+    as.init64(result + 64, 0);
+    x_addr_ = x;
+    y_addr_ = y;
+    done_addr_ = done;
+    result_addr_ = result;
+
+    // Only threads 0 and 1 participate; the rest halt immediately.
+    as.li(t0, 2);
+    as.bltu(tp, t0, "work");
+    as.halt();
+
+    as.label("work");
+    as.li(a0, x);
+    as.li(a1, y);
+    as.li(a2, barrier);
+
+    // Phase 1: take the other thread's block into M state.  X and Y
+    // are uncached here, so these GetM transactions fill from DRAM
+    // and never enter the forward phase (the fault injection only
+    // drops Fwd*Acks, so this phase always completes).
+    as.beq(tp, x0, "own_y");
+    as.li(t0, 0x1111);
+    as.st(t0, a0); // thread 1 owns X
+    as.jump("joined");
+    as.label("own_y");
+    as.li(t0, 0x2222);
+    as.st(t0, a1); // thread 0 owns Y
+    as.label("joined");
+    as.fence(); // the ownership store is globally visible
+
+    // Barrier: both stores are done before either cross-load starts.
+    as.li(t0, 1);
+    as.amoadd(t1, t0, a2);
+    as.label("spin");
+    as.ld(t1, a2);
+    as.li(t2, 2);
+    as.bltu(t1, t2, "spin");
+
+    // Phase 2: load the block the *other* thread owns.  The directory
+    // must forward each request to the owner; with the Fwd*Acks for X
+    // and Y dropped, both transactions wedge and neither load returns.
+    as.beq(tp, x0, "load_x");
+    as.ld(s1, a1); // thread 1 reads Y
+    as.jump("finish");
+    as.label("load_x");
+    as.ld(s1, a0); // thread 0 reads X
+    as.label("finish");
+
+    as.li(t0, result);
+    as.slli(t1, tp, 6);
+    as.add(t2, t0, t1);
+    as.st(s1, t2); // result[tp] = cross-loaded value
+    as.li(t0, done);
+    as.add(t2, t0, t1);
+    as.li(t1, 1);
+    as.st(t1, t2); // done[tp] = 1
+    as.halt();
+
+    return as.finish();
+}
+
+bool
+SeededDeadlock::check(const MemReader &read, std::uint32_t,
+                      std::string &error) const
+{
+    for (unsigned t = 0; t < 2; ++t) {
+        if (read(done_addr_ + t * 64, 8) != 1) {
+            error = mismatch(name() + " done[" + std::to_string(t) +
+                                 "]",
+                             1, read(done_addr_ + t * 64, 8));
+            return false;
+        }
+    }
+    // Thread 0 cross-loads X (stored by thread 1), and vice versa.
+    if (read(result_addr_, 8) != 0x1111) {
+        error = mismatch(name() + " result[0]", 0x1111,
+                         read(result_addr_, 8));
+        return false;
+    }
+    if (read(result_addr_ + 64, 8) != 0x2222) {
+        error = mismatch(name() + " result[1]", 0x2222,
+                         read(result_addr_ + 64, 8));
+        return false;
+    }
+    return true;
+}
+
+// ---------------------------------------------------------------------
 // AtomicHistogram
 // ---------------------------------------------------------------------
 

@@ -236,6 +236,41 @@ class LocalLockStream : public Workload
 };
 
 /**
+ * Deadlock seed for the hang watchdog and stall-dossier tests (not in
+ * the standard suite).  Thread 0 takes block Y into M state, thread 1
+ * block X; after a barrier each loads the other's block, so the
+ * directory must forward both requests to the current owners.  The
+ * workload is correct and terminates on a healthy machine -- `check`
+ * verifies the cross-loaded values -- but under the
+ * Network::Params::drop_fwd_acks_for fault injection (drop the
+ * Fwd*Ack for blocks X and Y) both directory transactions wedge in
+ * their forward phase and the run becomes a true resource deadlock:
+ * core_0 -> mshr[X] -> txn[X] -> core_1 -> mshr[Y] -> txn[Y] ->
+ * core_0.
+ */
+class SeededDeadlock : public Workload
+{
+  public:
+    SeededDeadlock() = default;
+
+    std::string name() const override { return "seeded-deadlock"; }
+    isa::Program build(std::uint32_t num_threads) override;
+    bool check(const MemReader &read, std::uint32_t num_threads,
+               std::string &error) const override;
+    std::uint32_t minThreads() const override { return 2; }
+
+    /** Block addresses for drop_fwd_acks_for (valid after build). */
+    Addr blockX() const { return x_addr_; }
+    Addr blockY() const { return y_addr_; }
+
+  private:
+    Addr x_addr_ = 0;
+    Addr y_addr_ = 0;
+    Addr done_addr_ = 0;
+    Addr result_addr_ = 0;
+};
+
+/**
  * Atomic histogram: threads bin host-generated random values with
  * fetch-and-add on shared (contended) bucket counters.
  */
