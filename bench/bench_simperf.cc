@@ -22,6 +22,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -68,8 +69,15 @@ BM_EventQueue(benchmark::State &state)
     state.counters["oneshot_nodes"] = static_cast<double>(
         eq.oneShotNodesAllocated());
     // Lazily-deleted entries the pop path skipped (from the
-    // reschedules above); queue-health trajectory for the JSON file.
-    state.counters["stale_pops"] = static_cast<double>(eq.stalePops());
+    // reschedules above), as a fraction of all pops: a rate stays
+    // comparable across runs of different lengths, where the raw
+    // counter only ever grew with iteration count.
+    const double total_pops = static_cast<double>(
+        eq.stalePops() + eq.nearPops() + eq.farPops());
+    state.counters["stale_pop_rate"] =
+        total_pops > 0
+            ? static_cast<double>(eq.stalePops()) / total_pops
+            : 0.0;
     state.counters["near_pops"] = static_cast<double>(eq.nearPops());
     state.counters["far_pops"] = static_cast<double>(eq.farPops());
 }
@@ -237,6 +245,51 @@ BM_FullSystemBlackbox(benchmark::State &state)
     state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
 }
 BENCHMARK(BM_FullSystemBlackbox);
+
+/**
+ * Sharded parallel simulation: ONE 16-core simulation partitioned
+ * across N host threads (SystemConfig::shards), versus the N=1
+ * single-threaded reference.  Results are byte-identical for every
+ * shard count (see harness/system.hh), so this curve is pure host-side
+ * scaling.  The host_cpus counter records how many hardware threads
+ * the measuring machine actually had -- the regression guard only
+ * enforces the speedup floor when the host can physically provide it.
+ */
+void
+BM_FullSystemParallel(benchmark::State &state)
+{
+    const auto shards = static_cast<std::uint32_t>(state.range(0));
+    std::uint64_t sim_insts = 0;
+    std::uint64_t sim_cycles = 0;
+    for (auto _ : state) {
+        harness::SystemConfig cfg;
+        cfg.num_cores = 16;
+        cfg.model = cpu::ConsistencyModel::TSO;
+        cfg.withShards(shards);
+        cfg.blackbox_records = 0; // measure the bare simulation
+        cfg.watchdog_interval = 0;
+        workload::SpinlockCrit wl;
+        isa::Program prog = wl.build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        const bool done = sys.run();
+        benchmark::DoNotOptimize(done);
+        sim_insts += sys.totalInstructions();
+        sim_cycles += sys.runtimeCycles();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
+    state.counters["sim_cycles"] =
+        benchmark::Counter(static_cast<double>(sim_cycles),
+                           benchmark::Counter::kIsRate);
+    state.counters["shards"] = static_cast<double>(shards);
+    state.counters["host_cpus"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+}
+// Wall-clock rates: the shard threads do the simulating, so the main
+// thread's CPU time (mostly barrier waits) would be meaningless.
+BENCHMARK(BM_FullSystemParallel)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void
 BM_ParallelSweep(benchmark::State &state)

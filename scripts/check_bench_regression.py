@@ -25,11 +25,20 @@ full-system run, and the waste profiler within 10%.  These are
 same-machine same-run comparisons, so they are immune to runner noise
 and use tight thresholds.
 
+The sharded parallel-simulation curve (BM_FullSystemParallel/N) gets a
+same-run speedup floor: the best multi-shard variant must reach at
+least PARALLEL_SPEEDUP_FLOOR x the single-shard reference.  The check
+is gated on the host_cpus counter each variant records -- a speedup
+claim is only meaningful when the host physically has the cores, so an
+under-provisioned runner skips the floor with an explicit note rather
+than failing (or trivially passing) on hardware that cannot show it.
+
 Benchmarks present in only one file are reported but never fatal, so
 adding or renaming benchmarks does not break CI in the same PR.
 """
 
 import json
+import statistics
 import sys
 
 GUARDED_PREFIXES = ("BM_EventQueue", "BM_FullSystem/",
@@ -42,6 +51,14 @@ RELATIVE_GUARDS = (
     ("BM_FullSystemProfiled", "BM_FullSystem/1", 0.10),
 )
 
+# Sharded parallel simulation: best BM_FullSystemParallel/N vs the /1
+# reference, enforced only when the host has enough hardware threads
+# to drive the widest variant.
+PARALLEL_PREFIX = "BM_FullSystemParallel/"
+PARALLEL_REF = "BM_FullSystemParallel/1"
+PARALLEL_SPEEDUP_FLOOR = 2.5
+PARALLEL_MIN_HOST_CPUS = 8
+
 
 def load(path):
     """Read {benchmark name: items/sec}, naming whatever is malformed.
@@ -52,15 +69,18 @@ def load(path):
 
     Runs made with --benchmark_repetitions produce one entry per
     repetition (same name) plus suffixed aggregate rows; the
-    aggregates are skipped and repeated names averaged, so the tight
-    same-run overhead guards see a mean instead of one noisy sample.
+    aggregates are skipped and repeated names reduced to their MEDIAN.
+    The median, not the mean: one repetition landing in a lucky (or
+    throttled) scheduler window on a shared runner shifts a mean of
+    three by several percent -- enough to flip the tight same-run
+    overhead guards -- while the median ignores it entirely.
     """
     with open(path) as f:
         doc = json.load(f)
     if "benchmarks" not in doc:
         sys.exit(f"error: {path}: no 'benchmarks' array "
                  f"(is this a BENCH_simperf.json?)")
-    sums, counts = {}, {}
+    samples = {}
     for i, bench in enumerate(doc["benchmarks"]):
         if bench.get("run_type") == "aggregate":
             continue
@@ -70,9 +90,69 @@ def load(path):
         if "items_per_second" not in bench:
             sys.exit(f"error: {path}: benchmark '{name}' has no "
                      f"'items_per_second'")
-        sums[name] = sums.get(name, 0.0) + bench["items_per_second"]
-        counts[name] = counts.get(name, 0) + 1
-    return {name: sums[name] / counts[name] for name in sums}
+        samples.setdefault(name, []).append(bench["items_per_second"])
+    return {name: statistics.median(v) for name, v in samples.items()}
+
+
+def load_counters(path):
+    """Read {benchmark name: {counter: median value}} (user counters)."""
+    with open(path) as f:
+        doc = json.load(f)
+    samples = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if name is None:
+            continue
+        for cname, value in bench.get("counters", {}).items():
+            samples.setdefault((name, cname), []).append(value)
+    out = {}
+    for (name, cname), values in samples.items():
+        out.setdefault(name, {})[cname] = statistics.median(values)
+    return out
+
+
+def check_parallel_speedup(fresh, counters):
+    """Same-run sharded-simulation speedup floor.  Returns failures."""
+    # The benchmark measures wall time, so names carry google-
+    # benchmark's "/real_time" suffix; normalize it away.
+    para = {}
+    for n, v in fresh.items():
+        if n.startswith(PARALLEL_PREFIX):
+            base_name = n[:-len("/real_time")] \
+                if n.endswith("/real_time") else n
+            para[base_name] = (n, v)
+    variants = sorted(n for n in para if n != PARALLEL_REF)
+    if PARALLEL_REF not in para or not variants:
+        print(f"note: parallel-sim speedup floor skipped "
+              f"({PARALLEL_PREFIX}* missing from the fresh run)")
+        return []
+    host_cpus = max(
+        counters.get(para[n][0], {}).get("host_cpus", 0.0)
+        for n in [PARALLEL_REF] + variants)
+    if host_cpus < PARALLEL_MIN_HOST_CPUS:
+        print(f"note: parallel-sim speedup floor skipped: the host "
+              f"reports {host_cpus:.0f} hardware thread(s), fewer "
+              f"than the {PARALLEL_MIN_HOST_CPUS} needed to "
+              f"demonstrate a {PARALLEL_SPEEDUP_FLOOR}x speedup "
+              f"(results are still byte-identical; only the scaling "
+              f"claim is unverifiable here)")
+        return []
+    base = para[PARALLEL_REF][1]
+    best_name, best = max(((n, para[n][1]) for n in variants),
+                          key=lambda kv: kv[1])
+    speedup = best / base if base else float("inf")
+    if speedup < PARALLEL_SPEEDUP_FLOOR:
+        print(f"{best_name}: SPEEDUP -- only {speedup:.2f}x the "
+              f"{PARALLEL_REF} reference ({best:.4g} vs {base:.4g} "
+              f"items/s) on a {host_cpus:.0f}-thread host; floor is "
+              f"{PARALLEL_SPEEDUP_FLOOR}x")
+        return [best_name]
+    print(f"{best_name}: {speedup:.2f}x the single-shard reference "
+          f"(floor {PARALLEL_SPEEDUP_FLOOR}x, "
+          f"{host_cpus:.0f}-thread host) ok")
+    return []
 
 
 def check_baselines(baselines, fresh, threshold):
@@ -149,6 +229,7 @@ def main(argv):
 
     failures = check_baselines(baselines, fresh, threshold)
     failures += check_relative(fresh)
+    failures += check_parallel_speedup(fresh, load_counters(paths[-1]))
 
     baseline_names = set()
     for b in baselines.values():

@@ -64,6 +64,39 @@ Distribution::sample(double v, std::uint64_t times)
     m2_ += static_cast<double>(times) * delta * (v - mean_);
 }
 
+void
+Distribution::merge(std::uint64_t count, double sum, double mean,
+                    double m2, double min, double max)
+{
+    if (count == 0)
+        return;
+    if (count_ == 0) {
+        count_ = count;
+        sum_ = sum;
+        mean_ = mean;
+        m2_ = m2;
+        min_ = min;
+        max_ = max;
+        return;
+    }
+    // Chan et al. pairwise combine: exact for the counts and stable
+    // for the second moment, so folding per-producer accumulators in a
+    // fixed order gives one deterministic result.
+    const std::uint64_t total = count_ + count;
+    const double delta = mean - mean_;
+    m2_ += m2 + delta * delta * static_cast<double>(count_)
+                     * static_cast<double>(count)
+                     / static_cast<double>(total);
+    mean_ += delta * static_cast<double>(count)
+             / static_cast<double>(total);
+    count_ = total;
+    sum_ += sum;
+    if (min < min_)
+        min_ = min;
+    if (max > max_)
+        max_ = max;
+}
+
 double
 Distribution::stdev() const
 {

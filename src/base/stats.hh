@@ -97,6 +97,16 @@ class Distribution : public Stat
 
     void sample(double v, std::uint64_t times = 1);
 
+    /**
+     * Fold an independently accumulated Welford state into this
+     * distribution (Chan's parallel-combine formula).  Sharded
+     * simulation keeps one accumulator per producer and folds them in
+     * a fixed order at the end of the run, so the result is identical
+     * no matter which host thread produced which samples.
+     */
+    void merge(std::uint64_t count, double sum, double mean, double m2,
+               double min, double max);
+
     std::uint64_t samples() const { return count_; }
     double total() const { return sum_; }
     double mean() const { return count_ ? mean_ : 0.0; }

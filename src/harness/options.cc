@@ -1,8 +1,10 @@
 #include "harness/options.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "base/logging.hh"
 #include "base/trace.hh"
@@ -18,7 +20,8 @@ const char *known_options[] = {
     "l1-kb", "l2-kb", "dram-latency", "net-latency", "scale", "seed",
     "jobs", "csv", "trace", "trace-out", "stats-json", "stats-interval",
     "profile-out", "waste-report", "blackbox-out", "blackbox",
-    "watchdog-interval", "watchdog-storm", "help",
+    "watchdog-interval", "watchdog-storm", "parallel-sim", "shards",
+    "help",
 };
 
 bool
@@ -179,6 +182,57 @@ Options::applyTo(SystemConfig base) const
         base.watchdog_interval = getInt("watchdog-interval", 0);
     if (has("watchdog-storm"))
         base.watchdog_storm = getInt("watchdog-storm", 0);
+
+    // --parallel-sim / --shards: non-fatal validation, like the trace
+    // flag parser -- a bad value must not kill a scripted sweep, since
+    // every value produces byte-identical results anyway.  Warn and
+    // fall back instead.
+    if (has("parallel-sim") || has("shards")) {
+        auto parse = [this](const char *name,
+                            std::uint64_t fallback) -> std::uint64_t {
+            const std::string v = get(name);
+            try {
+                return std::stoull(v);
+            } catch (...) {
+                std::cerr << "warning: --" << name
+                          << " expects a number, got '" << v
+                          << "'; ignoring\n";
+                return fallback;
+            }
+        };
+        const std::uint64_t parallel =
+            has("parallel-sim") ? parse("parallel-sim", 1) : 1;
+        if (parallel == 0) {
+            if (has("shards") && parse("shards", 1) > 1) {
+                std::cerr << "warning: --shards ignored because "
+                             "--parallel-sim=0\n";
+            }
+            base.shards = 1;
+        } else {
+            std::uint64_t shards =
+                has("shards") ? parse("shards", 0) : 0;
+            if (has("shards") && shards == 0) {
+                std::cerr << "warning: --shards must be >= 1; using "
+                             "the default\n";
+            }
+            if (shards == 0) {
+                // Default: one shard per host thread, bounded by the
+                // finest partition (one shard per core + one for the
+                // directory side).
+                const unsigned hw = std::thread::hardware_concurrency();
+                shards = std::min<std::uint64_t>(
+                    hw ? hw : 1,
+                    static_cast<std::uint64_t>(base.num_cores) + 1);
+            }
+            if (shards > base.num_cores + 1) {
+                std::cerr << "warning: --shards=" << shards
+                          << " exceeds the finest partition; clamping "
+                             "to " << base.num_cores + 1 << "\n";
+                shards = base.num_cores + 1;
+            }
+            base.shards = static_cast<std::uint32_t>(shards);
+        }
+    }
     return base;
 }
 
@@ -222,6 +276,12 @@ Options::printUsage(const std::string &prog)
            "                        (default 100000; 0 = off)\n"
         << "  --watchdog-storm=N    rollbacks/window classified as a\n"
            "                        rollback storm (default 256)\n"
+        << "  --parallel-sim=0|1    shard ONE simulation across host\n"
+           "                        threads (0 = single-threaded\n"
+           "                        reference; results are identical)\n"
+        << "  --shards=N            shard count for --parallel-sim\n"
+           "                        (default: hardware concurrency,\n"
+           "                        clamped to cores+1)\n"
         << "  --help                this message\n";
 }
 

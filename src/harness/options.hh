@@ -42,6 +42,13 @@
  *                          (default 100000; 0 disables the watchdog)
  *     --watchdog-storm=N   rollbacks per window that classify a hang
  *                          as a rollback storm (default 256)
+ *     --parallel-sim=0|1   shard one simulation across host threads
+ *                          (0 = single-threaded reference; stats,
+ *                          profile and blackbox output are identical
+ *                          either way -- see harness/system.hh)
+ *     --shards=N           shard count when --parallel-sim is on
+ *                          (default: hardware concurrency, clamped to
+ *                          cores + 1; validation warns, never aborts)
  *     --help               print usage and exit
  *
  * Output paths (--trace-out, --stats-json, --profile-out) are opened

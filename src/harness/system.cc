@@ -1,7 +1,10 @@
 #include "harness/system.hh"
 
+#include <algorithm>
+#include <barrier>
 #include <iomanip>
 #include <sstream>
+#include <thread>
 
 #include "base/logging.hh"
 #include "base/provenance.hh"
@@ -13,8 +16,78 @@
 namespace fenceless::harness
 {
 
+sim::SimContext &
+System::makeShardContexts()
+{
+    shards_ = config_.shards;
+    if (shards_ < 1)
+        shards_ = 1;
+    if (shards_ > config_.num_cores + 1)
+        shards_ = config_.num_cores + 1;
+    for (std::uint32_t s = 0; s < shards_; ++s)
+        shard_ctx_.push_back(std::make_unique<sim::SimContext>(stats_));
+    return *shard_ctx_.front();
+}
+
+std::uint32_t
+System::shardOfCore(std::uint32_t core) const
+{
+    // Contiguous balanced partition over shards 1..N-1 (shard 0 is the
+    // directory side); the single-shard reference keeps everything on 0.
+    if (shards_ == 1)
+        return 0;
+    return 1 + core * (shards_ - 1) / config_.num_cores;
+}
+
+std::uint32_t
+System::totalHalted() const
+{
+    std::uint32_t total = 0;
+    for (const ShardCounter &c : shard_halted_)
+        total += c.halted;
+    return total;
+}
+
+Tick
+System::lookahead() const
+{
+    // The minimum cross-shard delay: every shard interaction crosses
+    // the network, and a message sent at t arrives no earlier than
+    // t + latency + 1 (serialization is at least one cycle, since
+    // every message carries at least an 8-byte header).
+    return static_cast<Tick>(config_.net.latency) + 1;
+}
+
+std::vector<prof::CodeSym>
+System::codeSyms() const
+{
+    std::vector<prof::CodeSym> syms;
+    for (const auto &[index, label] : prog_.code_labels)
+        syms.push_back({index, label});
+    return syms;
+}
+
+std::vector<prof::DataSym>
+System::dataSyms() const
+{
+    std::vector<prof::DataSym> syms;
+    for (const auto &sym : prog_.symbols)
+        syms.push_back({sym.addr, sym.size, sym.name});
+    return syms;
+}
+
+std::vector<const trace::TraceSink *>
+System::allSinks() const
+{
+    std::vector<const trace::TraceSink *> sinks;
+    sinks.reserve(shard_ctx_.size());
+    for (const auto &sctx : shard_ctx_)
+        sinks.push_back(&sctx->tracer);
+    return sinks;
+}
+
 System::System(const SystemConfig &config, const isa::Program &prog)
-    : config_(config), prog_(prog)
+    : config_(config), prog_(prog), ctx_(makeShardContexts())
 {
     static const bool trace_initialised = [] {
         trace::initFromEnv();
@@ -28,30 +101,67 @@ System::System(const SystemConfig &config, const isa::Program &prog)
     flAssert(config_.l1.block_size == config_.l2.block_size,
              "L1 and L2 block sizes must match");
 
-    // Per-system sink: host-parallel sweeps each get their own, so
-    // recording needs no synchronisation.
-    ctx_.tracer.setMask(config_.trace_mask);
+    shard_halted_.resize(shards_);
+    mail_.resize(static_cast<std::size_t>(shards_) * shards_);
 
-    // Flight recorder: before component construction so every
-    // registerComponent() grows the ring storage.
-    if (config_.blackbox_records > 0) {
-        ctx_.tracer.configureRing(config_.blackbox_records,
-                                  trace::default_blackbox_flags);
+    // Per-shard sinks configured identically; host-parallel sweeps and
+    // sharded systems alike record without synchronisation.
+    for (auto &sctx : shard_ctx_)
+        sctx->tracer.setMask(config_.trace_mask);
+
+    // Pre-register the *global* component list -- in construction
+    // order -- into every shard sink, so component ids are identical
+    // across sinks and the per-shard record streams merge canonically
+    // at dump time (see sim/blackbox.hh).
+    {
+        const mem::NodeId dir_node = config_.num_cores;
+        std::vector<std::string> comp_names;
+        comp_names.emplace_back("network");
+        for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+            comp_names.push_back("l1_" + std::to_string(i));
+            comp_names.push_back("net.rx" + std::to_string(i));
+        }
+        comp_names.emplace_back("l2dir");
+        comp_names.push_back("net.rx" + std::to_string(dir_node));
+        for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+            comp_names.push_back("core_" + std::to_string(i));
+            comp_names.push_back("core_" + std::to_string(i) + ".sb");
+        }
+        if (config_.spec.mode != spec::SpecMode::Off) {
+            for (std::uint32_t i = 0; i < config_.num_cores; ++i)
+                comp_names.push_back("spec_" + std::to_string(i));
+        }
+        for (auto &sctx : shard_ctx_) {
+            for (const std::string &name : comp_names)
+                sctx->tracer.registerComponent(name);
+        }
     }
 
-    // The profiler must be configured before any component construction
-    // below: each component caches ifEnabled() exactly once.
+    // Flight recorder: configured after the component list is known,
+    // so the ring storage is sized in ONE allocation.  Registering a
+    // component into a live ring grows it with a full reallocate-and-
+    // copy, which is quadratic over the list and -- worse -- cycles
+    // the heap through every intermediate size on each System
+    // construction, fragmenting long-lived benchmark/sweep processes.
+    // The components constructed below re-register idempotently and
+    // never grow the ring.
+    if (config_.blackbox_records > 0) {
+        for (auto &sctx : shard_ctx_) {
+            sctx->tracer.configureRing(config_.blackbox_records,
+                                       trace::default_blackbox_flags);
+        }
+    }
+
+    // The profilers must be configured before any component
+    // construction below: each component caches ifEnabled() exactly
+    // once, against its own shard's profiler.
     if (config_.profile) {
-        std::vector<prof::CodeSym> code_syms;
-        for (const auto &[index, label] : prog_.code_labels)
-            code_syms.push_back({index, label});
-        std::vector<prof::DataSym> data_syms;
-        for (const auto &sym : prog_.symbols)
-            data_syms.push_back({sym.addr, sym.size, sym.name});
-        ctx_.profiler.configure(prog_.code.size(), config_.num_cores,
-                                config_.l1.block_size,
-                                std::move(code_syms),
-                                std::move(data_syms));
+        for (auto &sctx : shard_ctx_) {
+            sctx->profiler.configure(prog_.code.size(),
+                                     config_.num_cores,
+                                     config_.l1.block_size, codeSyms(),
+                                     dataSyms());
+        }
     }
 
     isa::loadImage(prog_, backing_);
@@ -59,10 +169,19 @@ System::System(const SystemConfig &config, const isa::Program &prog)
     const mem::NodeId dir_node = config_.num_cores;
     network_ = std::make_unique<mem::Network>(ctx_, "network",
                                               config_.net);
+    for (std::uint32_t i = 0; i < config_.num_cores; ++i)
+        network_->bindNode(i, *shard_ctx_[shardOfCore(i)], shardOfCore(i));
+    network_->bindNode(dir_node, ctx_, 0);
+    network_->setCrossShardPush(
+        [this](std::uint32_t src, std::uint32_t dst,
+               mem::Network::PendingMsg &&pm) {
+            mail_[src * shards_ + dst].push_back(std::move(pm));
+        });
+
     for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
         l1s_.push_back(std::make_unique<mem::L1Cache>(
-            ctx_, "l1_" + std::to_string(i), config_.l1, i, dir_node,
-            *network_));
+            *shard_ctx_[shardOfCore(i)], "l1_" + std::to_string(i),
+            config_.l1, i, dir_node, *network_));
     }
     dir_ = std::make_unique<mem::Directory>(ctx_, "l2dir", config_.l2,
                                             dir_node, config_.num_cores,
@@ -74,17 +193,19 @@ System::System(const SystemConfig &config, const isa::Program &prog)
     core_params.sb_max_inflight = config_.sb_max_inflight;
     core_params.sb_prefetch_depth = config_.sb_prefetch_depth;
     for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
+        const std::uint32_t s = shardOfCore(i);
         cores_.push_back(std::make_unique<cpu::Core>(
-            ctx_, "core_" + std::to_string(i), core_params, i, prog_,
-            *l1s_[i], config_.num_cores));
-        cores_.back()->setHaltCallback([this] { ++halted_; });
+            *shard_ctx_[s], "core_" + std::to_string(i), core_params, i,
+            prog_, *l1s_[i], config_.num_cores));
+        cores_.back()->setHaltCallback(
+            [this, s] { ++shard_halted_[s].halted; });
     }
 
     if (config_.spec.mode != spec::SpecMode::Off) {
         for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
             specs_.push_back(std::make_unique<spec::SpecController>(
-                ctx_, "spec_" + std::to_string(i), config_.spec,
-                *cores_[i], *l1s_[i]));
+                *shard_ctx_[shardOfCore(i)], "spec_" + std::to_string(i),
+                config_.spec, *cores_[i], *l1s_[i]));
         }
     }
 
@@ -92,21 +213,22 @@ System::System(const SystemConfig &config, const isa::Program &prog)
         sim::Watchdog::Params wp;
         wp.interval = config_.watchdog_interval;
         wp.storm_threshold = config_.watchdog_storm;
-        watchdog_ = std::make_unique<sim::Watchdog>(
-            ctx_.eventq, wp,
-            [this] {
-                sim::Watchdog::Progress p;
-                for (const auto &core : cores_)
-                    p.instret += core->instret();
-                for (const auto &s : specs_)
-                    p.rollbacks += s->rollbacks();
-                p.all_halted = halted_ == config_.num_cores;
-                return p;
-            },
-            [this](const sim::Watchdog::Report &r) {
-                onWatchdogFire(r);
-            });
+        watchdog_ = std::make_unique<sim::Watchdog>(wp, [this] {
+            sim::Watchdog::Progress p;
+            for (const auto &core : cores_)
+                p.instret += core->instret();
+            for (const auto &s : specs_)
+                p.rollbacks += s->rollbacks();
+            p.all_halted = totalHalted() == config_.num_cores;
+            return p;
+        });
     }
+
+    // Components registered aux-name tables (stall reasons, rollback
+    // causes, message types) into their own shard's sink; the meta sink
+    // renders every merged dump, so it adopts the rest.
+    for (std::uint32_t s = 1; s < shards_; ++s)
+        ctx_.tracer.adoptAuxNames(shard_ctx_[s]->tracer);
 }
 
 bool
@@ -114,59 +236,220 @@ System::run()
 {
     for (auto &core : cores_)
         core->reset();
-    if (config_.stats_interval > 0)
-        scheduleSnapshot();
-    if (watchdog_)
-        watchdog_->start();
 
+    drv_ = DriverState{};
+    drv_.active = true;
+    drv_.now = ctx_.curTick();
+    drv_.next_snapshot = config_.stats_interval > 0
+                             ? drv_.now + config_.stats_interval
+                             : max_tick;
+    if (watchdog_) {
+        watchdog_->prime(drv_.now);
+        drv_.next_wd = drv_.now + watchdog_->interval();
+    }
+    drv_.boundary = nextBoundaryAfter(
+        drv_.now, false, totalHalted() == config_.num_cores);
+
+    runShards();
+    drv_.active = false;
+
+    // Fold the network's per-node counters into its stat group; every
+    // mode does this here, so the rendered stats are mode-independent.
+    network_->finalizeStats();
+    return !hung_ && totalHalted() == config_.num_cores;
+}
+
+void
+System::runShards()
+{
     // If a simulator invariant trips mid-run, dump this system's
-    // evidence before aborting.  Thread-local, save/restore: nested or
-    // sibling systems (sweep workers) each guard their own run.
-    auto prev = setPanicHook([this] {
+    // evidence before aborting.  The hook is thread-local (sweep
+    // workers guard their own systems), so each shard thread installs
+    // its own copy.
+    const auto panic_dump = [this] {
         std::ostringstream os;
         os << "=== incident dump (panic) ===\n";
         writeArchState(os);
-        trace::writeBlackboxTail(os, ctx_.tracer);
+        trace::writeBlackboxTailMerged(os, ctx_.tracer, allSinks());
         reportBlock(os.str());
-    });
+    };
 
-    ctx_.eventq.run(config_.max_cycles);
-    if (!hung_ && halted_ == config_.num_cores) {
-        // Let in-flight protocol traffic (final writebacks, acks)
-        // settle so postcondition checks see a quiesced system.
-        ctx_.eventq.run(max_tick);
+    if (shards_ == 1) {
+        // The reference mode: the same quantum driver, inline on this
+        // thread, with no barriers and (absent snapshots/watchdog) a
+        // single quantum spanning the whole run.
+        auto prev = setPanicHook(panic_dump);
+        while (!drv_.done) {
+            ctx_.eventq.run(drv_.boundary - 1);
+            coordinatorStep();
+        }
+        setPanicHook(std::move(prev));
+        return;
     }
-    setPanicHook(std::move(prev));
-    return !hung_ && halted_ == config_.num_cores;
-}
 
-void
-System::scheduleSnapshot()
-{
-    // Stops rescheduling once every core halts, so the post-halt
-    // quiesce run (which runs to max_tick) still drains the queue.
-    sim::scheduleOneShot(
-        ctx_.eventq, ctx_.curTick() + config_.stats_interval, [this] {
-            takeSnapshot();
-            if (halted_ < config_.num_cores)
-                scheduleSnapshot();
+    // One host thread per shard, lock-stepped by a barrier whose
+    // completion step *is* the coordinator: it runs while every shard
+    // thread is parked, so it may read and write any shard's state.
+    // Each quantum is two phases -- run-to-boundary, then mailbox
+    // drain -- and the barrier provides all ordering, so the shared
+    // driver state needs no atomics.
+    struct Completion
+    {
+        System *sys;
+        void operator()() noexcept { sys->onBarrier(); }
+    };
+    std::barrier<Completion> sync(static_cast<std::ptrdiff_t>(shards_),
+                                  Completion{this});
+
+    std::vector<std::thread> threads;
+    threads.reserve(shards_);
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+        threads.emplace_back([this, s, &sync, &panic_dump] {
+            setPanicHook(panic_dump);
+            sim::EventQueue &eq = shard_ctx_[s]->eventq;
+            while (true) {
+                eq.run(drv_.boundary - 1);
+                sync.arrive_and_wait(); // completion: coordinatorStep()
+                if (drv_.done)
+                    break;
+                drainMail(s);
+                sync.arrive_and_wait(); // all drains done before next run
+            }
         });
+    }
+    for (auto &t : threads)
+        t.join();
 }
 
 void
-System::takeSnapshot()
+System::onBarrier() noexcept
+{
+    // Completions alternate run-phase / drain-phase; the coordinator
+    // acts only at the end of a run phase (every thread parked at the
+    // same quantum boundary).
+    drv_.phase_toggle = !drv_.phase_toggle;
+    if (drv_.phase_toggle)
+        coordinatorStep();
+}
+
+void
+System::coordinatorStep()
+{
+    const Tick b = drv_.boundary;
+    drv_.now = b;
+
+    if (b == drv_.next_snapshot) {
+        takeSnapshot(b);
+        drv_.next_snapshot = totalHalted() < config_.num_cores
+                                 ? b + config_.stats_interval
+                                 : max_tick;
+    }
+
+    if (b == drv_.next_wd) {
+        if (totalHalted() == config_.num_cores) {
+            drv_.next_wd = max_tick; // clean completion: stand down
+        } else if (watchdog_->checkAt(b)) {
+            onWatchdogFire(watchdog_->report());
+            drv_.done = true;
+            return;
+        } else {
+            drv_.next_wd = b + watchdog_->interval();
+        }
+    }
+
+    const bool all_halted = totalHalted() == config_.num_cores;
+    if (b > config_.max_cycles && !all_halted) {
+        drv_.done = true; // cycle budget exhausted
+        return;
+    }
+
+    const bool idle = allQueuesIdle();
+    if (idle) {
+        // Nothing can happen until the coordinator itself acts.  A
+        // wedged (not-halted) system stays alive for the watchdog or
+        // the snapshot series; otherwise take the one trailing
+        // snapshot the interval still owes and finish.
+        const bool keep_alive =
+            !all_halted &&
+            (watchdog_ != nullptr || drv_.next_snapshot != max_tick);
+        if (!keep_alive) {
+            if (drv_.next_snapshot != max_tick)
+                takeSnapshot(drv_.next_snapshot);
+            drv_.done = true;
+            return;
+        }
+    }
+
+    drv_.boundary = nextBoundaryAfter(b, idle, all_halted);
+}
+
+Tick
+System::nextBoundaryAfter(Tick b, bool idle, bool all_halted) const
+{
+    // The quantum term only applies when shards actually have work to
+    // exchange; an idle system jumps straight to the next coordinator
+    // action.  Every other term is a coordinator deadline.
+    Tick nb = (shards_ >= 2 && !idle) ? b + lookahead() : max_tick;
+    nb = std::min(nb, drv_.next_snapshot);
+    nb = std::min(nb, drv_.next_wd);
+    if (!all_halted && config_.max_cycles < max_tick)
+        nb = std::min(nb, config_.max_cycles + 1);
+    return nb;
+}
+
+void
+System::drainMail(std::uint32_t shard)
+{
+    for (std::uint32_t src = 0; src < shards_; ++src) {
+        auto &box = mail_[src * shards_ + shard];
+        for (auto &pm : box)
+            network_->enqueueArrival(std::move(pm));
+        box.clear();
+    }
+}
+
+bool
+System::allQueuesIdle() const
+{
+    for (const auto &sctx : shard_ctx_) {
+        if (!sctx->eventq.empty())
+            return false;
+    }
+    for (const auto &box : mail_) {
+        if (!box.empty())
+            return false;
+    }
+    return true;
+}
+
+void
+System::takeSnapshot(Tick tick)
 {
     std::ostringstream os;
-    statistics::printGroupsJson(os, ctx_.stats);
-    snapshots_.push_back(StatSnapshot{ctx_.curTick(), os.str()});
+    statistics::printGroupsJson(os, stats_);
+    snapshots_.push_back(StatSnapshot{tick, os.str()});
+}
+
+std::string
+System::provenanceJson() const
+{
+    std::string p = provenance::jsonObject();
+    std::ostringstream extra;
+    extra << ", \"sim_mode\": {\"parallel_sim\": "
+          << (shards_ >= 2 ? 1 : 0) << ", \"shards\": " << shards_
+          << "}";
+    const auto pos = p.rfind('}');
+    if (pos != std::string::npos)
+        p.insert(pos, extra.str());
+    return p;
 }
 
 void
 System::writeStatsJson(std::ostream &os) const
 {
-    os << "{\n  \"provenance\": " << provenance::jsonObject()
+    os << "{\n  \"provenance\": " << provenanceJson()
        << ",\n  \"groups\": ";
-    statistics::printGroupsJson(os, ctx_.stats);
+    statistics::printGroupsJson(os, stats_);
     os << ",\n  \"snapshots\": [";
     bool first = true;
     for (const auto &snap : snapshots_) {
@@ -229,7 +512,7 @@ System::totalRollbacks() const
 bool
 System::quiesced() const
 {
-    if (!ctx_.eventq.empty())
+    if (!allQueuesIdle())
         return false;
     for (const auto &l1 : l1s_) {
         if (!l1->quiesced())
@@ -241,20 +524,62 @@ System::quiesced() const
 void
 System::exportTrace(std::ostream &os) const
 {
-    ctx_.tracer.exportChromeJson(os, provenance::jsonObject());
+    // Canonical merge, shard-count independent: bucket records per
+    // component (each component records into exactly one shard sink),
+    // concatenate in global component-id order, stable-sort by tick --
+    // the same rule the flight recorder uses (sim/blackbox.hh).
+    const std::size_t ncomps = ctx_.tracer.components().size();
+    std::vector<std::vector<trace::TraceRecord>> by_comp(ncomps);
+    std::uint64_t dropped = 0;
+    for (const auto &sctx : shard_ctx_) {
+        sctx->tracer.forEach([&](const trace::TraceRecord &r) {
+            by_comp[r.comp].push_back(r);
+        });
+        dropped += sctx->tracer.dropped();
+    }
+    std::vector<trace::TraceRecord> records;
+    for (auto &bucket : by_comp) {
+        records.insert(records.end(), bucket.begin(), bucket.end());
+        bucket.clear();
+    }
+    std::stable_sort(records.begin(), records.end(),
+                     [](const trace::TraceRecord &a,
+                        const trace::TraceRecord &b) {
+                         return a.tick < b.tick;
+                     });
+    ctx_.tracer.exportChromeJsonFor(os, records, dropped,
+                                    provenanceJson());
 }
 
 void
 System::writeBlackbox(std::ostream &os) const
 {
-    trace::writeBlackboxJson(os, ctx_.tracer, provenance::jsonObject());
+    trace::writeBlackboxJsonMerged(os, ctx_.tracer, allSinks(),
+                                   provenanceJson());
 }
 
 void
 System::writeBlackboxTail(std::ostream &os,
                           std::size_t per_component) const
 {
-    trace::writeBlackboxTail(os, ctx_.tracer, per_component);
+    trace::writeBlackboxTailMerged(os, ctx_.tracer, allSinks(),
+                                   per_component);
+}
+
+prof::Profile
+System::profile(const std::string &scope) const
+{
+    if (shards_ == 1 || !config_.profile)
+        return ctx_.profiler.snapshot(scope);
+    // Fold the per-shard profilers (integer counters throughout, so
+    // the fold is exact) into a scratch profiler, then render: the
+    // merged state equals what the single-shard reference accumulates.
+    prof::WasteProfiler merged;
+    merged.configure(prog_.code.size(), config_.num_cores,
+                     config_.l1.block_size, codeSyms(), dataSyms());
+    for (const auto &sctx : shard_ctx_)
+        merged.absorb(sctx->profiler);
+    return merged.snapshot(scope);
 }
 
 std::string
@@ -450,7 +775,8 @@ System::buildWaitGraph(sim::WaitGraph &g) const
 void
 System::writeStallDossier(std::ostream &os) const
 {
-    os << "=== stall dossier @" << ctx_.curTick() << " ===\n";
+    os << "=== stall dossier @"
+       << (drv_.active ? drv_.now : curTick()) << " ===\n";
     os << "build: " << provenance::oneLine() << "\n";
     if (watchdog_report_.cause != sim::Watchdog::Cause::None) {
         os << "watchdog: cause="
@@ -485,7 +811,6 @@ System::onWatchdogFire(const sim::Watchdog::Report &report)
     writeStallDossier(dossier);
     dossier_ = dossier.str();
     reportBlock(os.str() + dossier_);
-    ctx_.eventq.requestStop();
 }
 
 void

@@ -4,6 +4,22 @@
  * directory, an interconnect, DRAM, and (optionally) one fence-
  * speculation controller per core.  This is the public entry point the
  * examples, tests and benchmarks build on.
+ *
+ * The system can shard one simulation across host threads
+ * (`SystemConfig::shards`): cores -- with their L1s, store buffers and
+ * speculation controllers -- are partitioned into shards, each with its
+ * own SimContext (event queue, trace sink, profiler) driven by one host
+ * thread; the directory, DRAM and network bookkeeping stay on shard 0.
+ * Shards advance in conservatively-synchronized quanta whose length is
+ * the minimum cross-shard latency (network latency + 1 cycle of
+ * serialization -- the lookahead), with cross-shard messages exchanged
+ * through mailboxes at quantum barriers, so no shard ever receives a
+ * message "in its past".  All delivery, statistics, profiling and
+ * flight-recorder merging is canonical (see mem/network.hh,
+ * sim/blackbox.hh): a sharded run's --stats-json, --profile-out and
+ * --blackbox-out are byte-identical to the single-threaded reference
+ * (`shards = 1`), modulo the self-describing "sim_mode" stanza inside
+ * the provenance block.
  */
 
 #pragma once
@@ -39,6 +55,15 @@ struct SystemConfig
     mem::Directory::Params l2;
     mem::Network::Params net;
     std::uint64_t max_cycles = 500'000'000;
+
+    /**
+     * Host threads to shard the simulation across (1 = the classic
+     * single-threaded reference).  Cores are partitioned contiguously
+     * over shards 1..N-1; shard 0 runs the directory/DRAM side.
+     * Clamped to [1, num_cores + 1].  Results are bitwise independent
+     * of this setting (see the file comment).
+     */
+    std::uint32_t shards = 1;
 
     /**
      * Structured-trace flag mask (trace::Flag values).  0 (default)
@@ -109,6 +134,14 @@ struct SystemConfig
         profile = true;
         return *this;
     }
+
+    /** Convenience: shard the simulation across @p n host threads. */
+    SystemConfig &
+    withShards(std::uint32_t n)
+    {
+        shards = n;
+        return *this;
+    }
 };
 
 class System
@@ -132,8 +165,15 @@ class System
     /** Cycle the last core halted at (the parallel runtime). */
     Tick runtimeCycles() const;
 
-    /** Current simulated tick. */
-    Tick curTick() const { return ctx_.curTick(); }
+    /** Current simulated tick (last quantum boundary when sharded). */
+    Tick
+    curTick() const
+    {
+        return shards_ >= 2 ? drv_.now : ctx_.curTick();
+    }
+
+    /** Host threads the simulation is sharded across (post-clamp). */
+    std::uint32_t shards() const { return shards_; }
 
     /**
      * Functional read of the coherent memory image: the owning L1's
@@ -160,12 +200,17 @@ class System
         return specs_.empty() ? nullptr : specs_.at(i).get();
     }
 
-    statistics::StatRegistry &stats() { return ctx_.stats; }
-    const statistics::StatRegistry &stats() const { return ctx_.stats; }
+    statistics::StatRegistry &stats() { return stats_; }
+    const statistics::StatRegistry &stats() const { return stats_; }
     sim::SimContext &context() { return ctx_; }
 
     // --- observability ---------------------------------------------------
 
+    /**
+     * The export/meta sink (shard 0's).  When sharded, recording is
+     * spread over per-shard sinks; use exportTrace()/writeBlackbox()
+     * for merged views.
+     */
     trace::TraceSink &tracer() { return ctx_.tracer; }
     const trace::TraceSink &tracer() const { return ctx_.tracer; }
 
@@ -177,7 +222,8 @@ class System
     /**
      * Write the recorded structured trace as Chrome trace-event JSON
      * (open in ui.perfetto.dev or chrome://tracing), stamped with build
-     * provenance.
+     * provenance.  Records are merged canonically (per component, then
+     * by tick), so the document is identical for any shard count.
      */
     void exportTrace(std::ostream &os) const;
 
@@ -237,13 +283,11 @@ class System
     /**
      * Symbolized waste profile of the run (empty unless
      * `config.profile` was set).  A non-empty @p scope prefixes every
-     * key so profiles of different configurations merge cleanly.
+     * key so profiles of different configurations merge cleanly.  When
+     * sharded, the per-shard profilers are folded (integer-exact) in
+     * shard order first.
      */
-    prof::Profile
-    profile(const std::string &scope = "") const
-    {
-        return ctx_.profiler.snapshot(scope);
-    }
+    prof::Profile profile(const std::string &scope = "") const;
 
     std::uint64_t totalInstructions() const;
 
@@ -263,15 +307,64 @@ class System
 
     const SystemConfig &config() const { return config_; }
 
+    /**
+     * The build-provenance JSON embedded in stats/trace/blackbox
+     * output, extended with a "sim_mode" stanza recording how this run
+     * was invoked (parallel_sim, shards).
+     */
+    std::string provenanceJson() const;
+
   private:
-    void scheduleSnapshot();
-    void takeSnapshot();
+    /** Shared coordinator/driver state for the quantum-stepped run. */
+    struct DriverState
+    {
+        bool active = false;   //!< a run() is in progress
+        Tick now = 0;          //!< the boundary being coordinated
+        Tick boundary = 0;     //!< run-to target of the current quantum
+        Tick next_snapshot = max_tick;
+        Tick next_wd = max_tick;
+        bool done = false;
+        bool phase_toggle = false; //!< which barrier completion this is
+    };
+
+    /** One shard's halt counter, padded to avoid false sharing. */
+    struct alignas(64) ShardCounter
+    {
+        std::uint32_t halted = 0;
+    };
+
+    sim::SimContext &makeShardContexts();
+    std::uint32_t shardOfCore(std::uint32_t core) const;
+    std::uint32_t totalHalted() const;
+    Tick lookahead() const;
+    std::vector<prof::CodeSym> codeSyms() const;
+    std::vector<prof::DataSym> dataSyms() const;
+    std::vector<const trace::TraceSink *> allSinks() const;
+
+    void runShards();
+    void onBarrier() noexcept;
+    void coordinatorStep();
+    Tick nextBoundaryAfter(Tick b, bool idle, bool all_halted) const;
+    void drainMail(std::uint32_t shard);
+    bool allQueuesIdle() const;
+
+    void takeSnapshot(Tick tick);
     void onWatchdogFire(const sim::Watchdog::Report &report);
     void writeArchState(std::ostream &os) const;
 
     SystemConfig config_;
     isa::Program prog_;
-    sim::SimContext ctx_;
+
+    // One stat registry spans the whole simulated system; every shard
+    // context shares it (each stat is still written by exactly one
+    // shard).  Must precede shard_ctx_, which must precede every
+    // component (reverse destruction order: components first, then
+    // contexts, then the registry).
+    statistics::StatRegistry stats_;
+    std::uint32_t shards_ = 1;
+    std::vector<std::unique_ptr<sim::SimContext>> shard_ctx_;
+    sim::SimContext &ctx_; //!< shard 0 (directory side, meta sink)
+
     FlatMemory backing_;
     std::vector<StatSnapshot> snapshots_;
 
@@ -282,7 +375,11 @@ class System
     std::vector<std::unique_ptr<spec::SpecController>> specs_;
     std::unique_ptr<sim::Watchdog> watchdog_;
 
-    std::uint32_t halted_ = 0;
+    std::vector<ShardCounter> shard_halted_;
+    /** Cross-shard mailboxes, indexed [src_shard * shards_ + dst]. */
+    std::vector<std::vector<mem::Network::PendingMsg>> mail_;
+    DriverState drv_;
+
     bool hung_ = false;
     sim::Watchdog::Report watchdog_report_;
     std::string dossier_;

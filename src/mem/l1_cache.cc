@@ -246,7 +246,12 @@ L1Cache::handleMiss(MemRequest req, bool want_m)
     mshr.block_addr = block_addr;
     mshr.want_m = want_m;
     mshr.miss_start = curTick();
-    mshr.req_id = tracer().nextRequestId();
+    // Request ids are minted per L1 (node in the high bits, local
+    // counter below) rather than from the shard-shared trace sink, so
+    // an id depends only on this cache's own miss sequence -- identical
+    // however the system is sharded across host threads.
+    mshr.req_id =
+        (static_cast<std::uint64_t>(node_id_ + 1) << 40) | ++last_req_id_;
     mshr.waiting.push_back(std::move(req));
     FL_TEVENT(*this, trace::EventKind::ReqIssue, mshr.req_id,
               block_addr);

@@ -251,6 +251,7 @@ class L1Cache : public sim::SimObject, public MsgReceiver
 
     Params params_;
     CoreId core_id_;
+    std::uint64_t last_req_id_ = 0; //!< per-L1 request-id sequence
     NodeId node_id_;
     NodeId dir_node_;
     Network &network_;

@@ -58,6 +58,26 @@ Msg::toString() const
     return os.str();
 }
 
+namespace
+{
+
+/** Max-heap comparator yielding a (arrival, src, chan_seq) min-heap. */
+struct PendingLater
+{
+    bool
+    operator()(const Network::PendingMsg &a,
+               const Network::PendingMsg &b) const
+    {
+        if (a.arrival != b.arrival)
+            return a.arrival > b.arrival;
+        if (a.msg.src != b.msg.src)
+            return a.msg.src > b.msg.src;
+        return a.chan_seq > b.chan_seq;
+    }
+};
+
+} // namespace
+
 Network::Network(sim::SimContext &ctx, const std::string &name,
                  const Params &params)
     : SimObject(ctx, name), params_(params),
@@ -82,20 +102,54 @@ Network::Network(sim::SimContext &ctx, const std::string &name,
     tracer().setAuxNames(trace::EventKind::NetHop, std::move(msg_names));
 }
 
+Network::~Network()
+{
+    for (Node &n : nodes_) {
+        if (n.ingress_event && n.ingress_event->scheduled())
+            n.ctx->eventq.deschedule(n.ingress_event.get());
+    }
+}
+
+Network::Node &
+Network::ensureNode(NodeId id)
+{
+    if (nodes_.size() <= id)
+        nodes_.resize(id + 1);
+    Node &n = nodes_[id];
+    if (!n.ctx)
+        n.ctx = &ctx_;
+    return n;
+}
+
+void
+Network::bindNode(NodeId id, sim::SimContext &ctx, std::uint32_t shard)
+{
+    Node &n = ensureNode(id);
+    flAssert(!n.receiver, "bindNode must precede registerEndpoint for ",
+             id);
+    n.ctx = &ctx;
+    n.shard = shard;
+}
+
 void
 Network::registerEndpoint(NodeId id, MsgReceiver *receiver)
 {
-    if (endpoints_.size() <= id)
-        endpoints_.resize(id + 1, nullptr);
-    flAssert(!endpoints_[id], "endpoint ", id, " already registered");
-    endpoints_[id] = receiver;
+    Node &n = ensureNode(id);
+    flAssert(!n.receiver, "endpoint ", id, " already registered");
+    n.receiver = receiver;
+    n.trace_id =
+        n.ctx->tracer.registerComponent("net.rx" + std::to_string(id));
+    n.ingress_event = std::make_unique<sim::EventFunctionWrapper>(
+        [this, id] { ingressFire(id); }, "net-ingress",
+        ingress_prio_base + static_cast<int>(id));
 }
 
 void
 Network::send(Msg msg)
 {
-    flAssert(msg.dst < endpoints_.size() && endpoints_[msg.dst],
+    flAssert(msg.dst < nodes_.size() && nodes_[msg.dst].receiver,
              "message to unregistered endpoint ", msg.dst);
+    Node &src = ensureNode(msg.src);
 
     // Fault injection (tests only): swallow the owner's probe response
     // before it touches channel state, wedging the directory's forward
@@ -105,52 +159,144 @@ Network::send(Msg msg)
         std::find(params_.drop_fwd_acks_for.begin(),
                   params_.drop_fwd_acks_for.end(),
                   msg.block_addr) != params_.drop_fwd_acks_for.end()) {
-        ++stat_dropped_;
+        ++src.tx_dropped;
         return;
     }
 
-    msg.sent_tick = curTick();
+    // Stamp with the *sender's* shard clock: the only clock advanced
+    // past this point, and -- because shards stay within one quantum of
+    // each other -- a globally meaningful tick.
+    msg.sent_tick = src.ctx->curTick();
 
     const Cycles serialization =
         (msg.sizeBytes() + params_.link_bytes_per_cycle - 1)
         / params_.link_bytes_per_cycle;
 
-    Channel &ch = channels_[{msg.src, msg.dst}];
-    Tick arrival = curTick() + params_.latency + serialization;
+    if (src.chans.size() <= msg.dst)
+        src.chans.resize(msg.dst + 1);
+    TxChan &ch = src.chans[msg.dst];
+    Tick arrival = msg.sent_tick + params_.latency + serialization;
     // Preserve per-channel FIFO order and serialize on link bandwidth.
     if (arrival <= ch.last_arrival)
         arrival = ch.last_arrival + serialization;
     ch.last_arrival = arrival;
-    ++ch.in_flight;
+    ++ch.sent;
 
-    ++stat_msgs_;
-    stat_bytes_ += msg.sizeBytes();
+    ++src.tx_msgs;
+    src.tx_bytes += msg.sizeBytes();
     if (msg.hasData())
-        ++stat_data_msgs_;
+        ++src.tx_data_msgs;
     else
-        ++stat_ctrl_msgs_;
+        ++src.tx_ctrl_msgs;
 
-    // The delivery event owns itself and is destroyed after firing.
-    auto *ev = new DeliveryEvent(*this, std::move(msg));
-    eventq().schedule(ev, arrival);
+    const NodeId dst_id = msg.dst;
+    PendingMsg pm{std::move(msg), arrival, ++ch.seq};
+    Node &dst = nodes_[dst_id];
+    if (dst.shard == src.shard) {
+        enqueueArrival(std::move(pm));
+    } else {
+        flAssert(cross_push_,
+                 "cross-shard message without a mailbox route");
+        cross_push_(src.shard, dst.shard, std::move(pm));
+    }
 }
 
 void
-Network::DeliveryEvent::process()
+Network::enqueueArrival(PendingMsg &&pm)
 {
-    network.deliver(message);
-    delete this;
+    Node &n = nodes_[pm.msg.dst];
+    n.heap.push_back(std::move(pm));
+    std::push_heap(n.heap.begin(), n.heap.end(), PendingLater{});
+    const Tick next = n.heap.front().arrival;
+    sim::Event *ev = n.ingress_event.get();
+    if (!ev->scheduled())
+        n.ctx->eventq.schedule(ev, next);
+    else if (ev->when() > next)
+        n.ctx->eventq.reschedule(ev, next);
 }
 
 void
-Network::deliver(const Msg &msg)
+Network::rxSample(Node &n, double v)
 {
-    const Tick latency = curTick() - msg.sent_tick;
-    --channels_[{msg.src, msg.dst}].in_flight;
-    stat_msg_latency_.sample(static_cast<double>(latency));
-    FL_TEVENT(*this, trace::EventKind::NetHop, msg.req_id, latency,
-              static_cast<std::uint32_t>(msg.type));
-    endpoints_[msg.dst]->receiveMsg(msg);
+    // Same recurrence as Distribution::sample so the node-order fold in
+    // finalizeStats() reproduces one long single-threaded accumulation.
+    if (n.rx_count == 0) {
+        n.rx_min = v;
+        n.rx_max = v;
+    } else {
+        if (v < n.rx_min)
+            n.rx_min = v;
+        if (v > n.rx_max)
+            n.rx_max = v;
+    }
+    ++n.rx_count;
+    n.rx_sum += v;
+    const double delta = v - n.rx_mean;
+    n.rx_mean += delta / static_cast<double>(n.rx_count);
+    n.rx_m2 += delta * (v - n.rx_mean);
+}
+
+void
+Network::ingressFire(NodeId id)
+{
+    Node &n = nodes_[id];
+    const Tick now = n.ctx->curTick();
+    while (!n.heap.empty() && n.heap.front().arrival == now) {
+        std::pop_heap(n.heap.begin(), n.heap.end(), PendingLater{});
+        PendingMsg pm = std::move(n.heap.back());
+        n.heap.pop_back();
+
+        const Msg &msg = pm.msg;
+        const Tick latency = now - msg.sent_tick;
+        rxSample(n, static_cast<double>(latency));
+        if (n.delivered_from.size() <= msg.src)
+            n.delivered_from.resize(msg.src + 1, 0);
+        ++n.delivered_from[msg.src];
+        if (n.ctx->tracer.wants(trace::Flag::Net)) {
+            n.ctx->tracer.record(n.trace_id, trace::EventKind::NetHop,
+                                 now, msg.req_id, latency,
+                                 static_cast<std::uint32_t>(msg.type));
+        }
+        // receiveMsg may send() back into this very heap; arrivals are
+        // strictly in the future, so they never join this tick's batch,
+        // and the (re)schedule below accounts for them.
+        n.receiver->receiveMsg(msg);
+    }
+    if (!n.heap.empty()) {
+        const Tick next = n.heap.front().arrival;
+        sim::Event *ev = n.ingress_event.get();
+        if (!ev->scheduled())
+            n.ctx->eventq.schedule(ev, next);
+        else if (ev->when() > next)
+            n.ctx->eventq.reschedule(ev, next);
+    }
+}
+
+void
+Network::finalizeStats()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    std::uint64_t msgs = 0, bytes = 0, data = 0, ctrl = 0, dropped = 0;
+    for (const Node &n : nodes_) {
+        msgs += n.tx_msgs;
+        bytes += n.tx_bytes;
+        data += n.tx_data_msgs;
+        ctrl += n.tx_ctrl_msgs;
+        dropped += n.tx_dropped;
+    }
+    stat_msgs_ = msgs;
+    stat_bytes_ = bytes;
+    stat_data_msgs_ = data;
+    stat_ctrl_msgs_ = ctrl;
+    stat_dropped_ = dropped;
+    for (Node &n : nodes_) {
+        if (n.rx_count) {
+            stat_msg_latency_.merge(n.rx_count, n.rx_sum, n.rx_mean,
+                                    n.rx_m2, n.rx_min, n.rx_max);
+        }
+    }
 }
 
 } // namespace fenceless::mem

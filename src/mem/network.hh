@@ -7,13 +7,33 @@
  * max(now + latency, channel_last_arrival + serialization) cycles later,
  * where serialization = ceil(bytes / link_bytes_per_cycle) models link
  * bandwidth.  FIFO order per channel is a protocol requirement.
+ *
+ * The network is also the simulator's only cross-shard edge when the
+ * System is sharded across host threads (--shards=N), so delivery is
+ * built around a *canonical per-destination ingress*: every node owns a
+ * min-heap of pending arrivals ordered by (arrival tick, source node,
+ * per-channel sequence) -- a total order whose keys are computed
+ * entirely at send time -- drained by one event on the destination
+ * node's shard queue.  Same-shard sends enqueue directly; cross-shard
+ * sends travel through the System's mailboxes and are enqueued at the
+ * next quantum boundary, which the lookahead (quantum <= latency + 1)
+ * guarantees still precedes the arrival tick.  Delivery order at every
+ * node is therefore a pure function of the message timing, identical
+ * whether the simulation runs on one host thread or eight.
+ *
+ * Stats follow the same discipline: each node accumulates its own tx
+ * counters and rx latency moments (touched only by its shard's
+ * thread), and finalizeStats() folds them into the legacy "network"
+ * stat group in node order at end of run -- deterministic and
+ * lock-free in every mode.
  */
 
 #pragma once
 
-#include <deque>
-#include <map>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "mem/msg.hh"
@@ -48,14 +68,72 @@ class Network : public sim::SimObject
         std::vector<Addr> drop_fwd_acks_for;
     };
 
+    /**
+     * A message en route to its destination's ingress heap, keyed for
+     * the canonical delivery order.  chan_seq is the (src, dst)
+     * channel's send sequence; per-channel arrivals strictly increase,
+     * so (arrival, src, chan_seq) is a strict total order per node.
+     */
+    struct PendingMsg
+    {
+        Msg msg;
+        Tick arrival = 0;
+        std::uint64_t chan_seq = 0;
+    };
+
     Network(sim::SimContext &ctx, const std::string &name,
             const Params &params);
+
+    /**
+     * Pending ingress events are owned by the network; an aborted run
+     * (watchdog, cycle budget) leaves them scheduled, so pull them off
+     * their queues before the Event destructor asserts.
+     */
+    ~Network() override;
+
+    /**
+     * Declare which shard context delivers to endpoint @p id.  Must be
+     * called before the endpoint registers.  Never calling it leaves
+     * every node on the network's own context (shard 0) -- the
+     * single-threaded default used by protocol unit tests.
+     */
+    void bindNode(NodeId id, sim::SimContext &ctx, std::uint32_t shard);
+
+    /**
+     * Route for cross-shard sends: invoked as (src_shard, dst_shard,
+     * pending) when a message's source and destination live on
+     * different shards.  The System points this at its mailbox grid;
+     * the receiver re-injects via enqueueArrival() at the next quantum
+     * boundary.
+     */
+    using CrossShardPush =
+        std::function<void(std::uint32_t, std::uint32_t, PendingMsg &&)>;
+    void setCrossShardPush(CrossShardPush push)
+    {
+        cross_push_ = std::move(push);
+    }
 
     /** Attach the receiver for endpoint @p id. */
     void registerEndpoint(NodeId id, MsgReceiver *receiver);
 
-    /** Send a message; delivery is scheduled on the event queue. */
+    /** Send a message; delivery is scheduled on the dst shard's queue. */
     void send(Msg msg);
+
+    /**
+     * Push a pending message into its destination's ingress heap and
+     * (re)arm the ingress event.  Called by send() for same-shard
+     * traffic and by the System's mailbox drain for cross-shard
+     * traffic; must run on the destination shard's thread with the
+     * arrival tick still in that queue's future.
+     */
+    void enqueueArrival(PendingMsg &&pm);
+
+    /**
+     * Fold the per-node counters into the "network" stat group (node
+     * order, idempotent).  The System calls this once at end of run in
+     * every mode; until then the group's scalars read zero.
+     */
+    void finalizeStats();
 
     // --- stall-dossier inspection ---------------------------------------
 
@@ -70,36 +148,90 @@ class Network : public sim::SimObject
     void
     forEachChannel(Fn fn) const
     {
-        for (const auto &[key, ch] : channels_)
-            fn(key.first, key.second, ch);
+        for (NodeId s = 0; s < nodes_.size(); ++s) {
+            const Node &src = nodes_[s];
+            for (NodeId d = 0; d < src.chans.size(); ++d) {
+                const TxChan &ch = src.chans[d];
+                if (ch.sent == 0)
+                    continue;
+                std::uint64_t delivered = 0;
+                if (d < nodes_.size() &&
+                    s < nodes_[d].delivered_from.size()) {
+                    delivered = nodes_[d].delivered_from[s];
+                }
+                fn(s, d, Channel{ch.last_arrival, ch.sent - delivered});
+            }
+        }
     }
 
     /** Fault-injected drops so far (see Params::drop_fwd_acks_for). */
-    std::uint64_t droppedMsgs() const
+    std::uint64_t
+    droppedMsgs() const
     {
-        return static_cast<std::uint64_t>(stat_dropped_.value());
+        std::uint64_t total = 0;
+        for (const Node &n : nodes_)
+            total += n.tx_dropped;
+        return total;
     }
 
   private:
-
-    struct DeliveryEvent : public sim::Event
+    /** One FIFO channel's send-side state. */
+    struct TxChan
     {
-        DeliveryEvent(Network &net, Msg msg)
-            : network(net), message(std::move(msg))
-        {}
-
-        void process() override;
-        const char *name() const override { return "net-delivery"; }
-
-        Network &network;
-        Msg message;
+        Tick last_arrival = 0;
+        std::uint64_t seq = 0;  //!< sends so far (becomes chan_seq)
+        std::uint64_t sent = 0; //!< == seq; kept separate for clarity
     };
 
-    void deliver(const Msg &msg);
+    /**
+     * Per-node state: the tx counters this node produces as a source
+     * and the ingress heap + rx accumulators it owns as a destination.
+     * Everything here is touched only by the node's shard thread (the
+     * coordinator reads between quanta).
+     */
+    struct Node
+    {
+        sim::SimContext *ctx = nullptr; //!< delivery context (shard)
+        std::uint32_t shard = 0;
+        MsgReceiver *receiver = nullptr;
+        std::uint16_t trace_id = 0; //!< "net.rxN" track in ctx's sink
+
+        // tx side (this node as msg.src)
+        std::vector<TxChan> chans; //!< indexed by dst
+        std::uint64_t tx_msgs = 0;
+        std::uint64_t tx_bytes = 0;
+        std::uint64_t tx_data_msgs = 0;
+        std::uint64_t tx_ctrl_msgs = 0;
+        std::uint64_t tx_dropped = 0;
+
+        // rx side (this node as msg.dst)
+        std::vector<PendingMsg> heap; //!< min-heap via Pending order
+        std::unique_ptr<sim::EventFunctionWrapper> ingress_event;
+        std::vector<std::uint64_t> delivered_from; //!< per src
+        std::uint64_t rx_count = 0; //!< Welford state for msg_latency
+        double rx_sum = 0.0;
+        double rx_mean = 0.0;
+        double rx_m2 = 0.0;
+        double rx_min = 0.0;
+        double rx_max = 0.0;
+    };
+
+    /**
+     * Ingress events outrank every component event (prio_highest is 0)
+     * and each other by node id, so all of a tick's deliveries land --
+     * in node order -- before any component logic runs at that tick, a
+     * rule that costs nothing and is trivially shard-independent.
+     */
+    static constexpr int ingress_prio_base = -100000;
+
+    Node &ensureNode(NodeId id);
+    void ingressFire(NodeId id);
+    void rxSample(Node &n, double v);
 
     Params params_;
-    std::vector<MsgReceiver *> endpoints_;
-    std::map<std::pair<NodeId, NodeId>, Channel> channels_;
+    std::vector<Node> nodes_;
+    CrossShardPush cross_push_;
+    bool finalized_ = false;
 
     statistics::Scalar &stat_msgs_;
     statistics::Scalar &stat_bytes_;

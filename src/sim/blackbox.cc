@@ -7,40 +7,78 @@
 namespace fenceless::trace
 {
 
+namespace
+{
+
+/**
+ * Gather one component's surviving ring entries across sinks, oldest
+ * first.  Exactly one sink records for any given component (components
+ * are owned by one shard), so appending in sink order is the
+ * per-component stream regardless of which sink holds it.
+ */
+void
+gatherComponent(std::uint16_t comp,
+                const std::vector<const TraceSink *> &sinks,
+                std::vector<TraceRecord> &out)
+{
+    for (const TraceSink *s : sinks) {
+        if (comp >= s->components().size())
+            continue;
+        s->forEachRingEntry(
+            comp, [&](const RingEntry &e) { out.push_back(e.rec); });
+    }
+}
+
+} // namespace
+
+std::vector<TraceRecord>
+blackboxRecordsMerged(const TraceSink &meta,
+                      const std::vector<const TraceSink *> &sinks)
+{
+    // Canonical order: gather per component (global component-id
+    // order), then stable-sort by tick.  Per-component streams are
+    // already tick-monotone, so this is a time merge where same-tick
+    // records from different components land in component-id order --
+    // a rule that does not depend on how many host threads recorded
+    // the events, which keeps sharded dumps byte-identical to the
+    // single-threaded reference.
+    std::vector<TraceRecord> out;
+    for (std::size_t c = 0; c < meta.components().size(); ++c)
+        gatherComponent(static_cast<std::uint16_t>(c), sinks, out);
+    std::stable_sort(out.begin(), out.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.tick < b.tick;
+                     });
+    return out;
+}
+
 std::vector<TraceRecord>
 blackboxRecords(const TraceSink &sink)
 {
-    // Gather every surviving ring slot with its global push sequence,
-    // then sort by that sequence: a total order over all components
-    // that is stable across identical runs (ticks alone would leave
-    // same-tick events from different components unordered).
-    std::vector<RingEntry> entries;
-    for (std::size_t c = 0; c < sink.components().size(); ++c) {
-        sink.forEachRingEntry(
-            static_cast<std::uint16_t>(c),
-            [&](const RingEntry &e) { entries.push_back(e); });
-    }
-    std::sort(entries.begin(), entries.end(),
-              [](const RingEntry &a, const RingEntry &b) {
-                  return a.seq < b.seq;
-              });
-    std::vector<TraceRecord> out;
-    out.reserve(entries.size());
-    for (const RingEntry &e : entries)
-        out.push_back(e.rec);
-    return out;
+    return blackboxRecordsMerged(sink, {&sink});
+}
+
+void
+writeBlackboxJsonMerged(std::ostream &os, const TraceSink &meta,
+                        const std::vector<const TraceSink *> &sinks,
+                        const std::string &provenance_json)
+{
+    const auto records = blackboxRecordsMerged(meta, sinks);
+    // Events pushed but since overwritten: report them as dropped so
+    // the dump is honest about being a tail, not the full history.
+    std::uint64_t pushes = 0;
+    for (const TraceSink *s : sinks)
+        pushes += s->ringPushes();
+    const std::uint64_t overwritten =
+        pushes - static_cast<std::uint64_t>(records.size());
+    meta.exportChromeJsonFor(os, records, overwritten, provenance_json);
 }
 
 void
 writeBlackboxJson(std::ostream &os, const TraceSink &sink,
                   const std::string &provenance_json)
 {
-    const auto records = blackboxRecords(sink);
-    // Events pushed but since overwritten: report them as dropped so
-    // the dump is honest about being a tail, not the full history.
-    const std::uint64_t overwritten =
-        sink.ringPushes() - static_cast<std::uint64_t>(records.size());
-    sink.exportChromeJsonFor(os, records, overwritten, provenance_json);
+    writeBlackboxJsonMerged(os, sink, {&sink}, provenance_json);
 }
 
 namespace
@@ -93,30 +131,38 @@ writeOne(std::ostream &os, const TraceSink &sink, const TraceRecord &r)
 } // namespace
 
 void
-writeBlackboxTail(std::ostream &os, const TraceSink &sink,
-                  std::size_t per_component)
+writeBlackboxTailMerged(std::ostream &os, const TraceSink &meta,
+                        const std::vector<const TraceSink *> &sinks,
+                        std::size_t per_component)
 {
+    std::uint64_t pushes = 0;
+    for (const TraceSink *s : sinks)
+        pushes += s->ringPushes();
     os << "flight recorder tail (last " << per_component
-       << " events per component, " << sink.ringPushes()
-       << " recorded total):\n";
-    for (std::size_t c = 0; c < sink.components().size(); ++c) {
+       << " events per component, " << pushes << " recorded total):\n";
+    for (std::size_t c = 0; c < meta.components().size(); ++c) {
         std::vector<TraceRecord> tail;
-        sink.forEachRingEntry(
-            static_cast<std::uint16_t>(c),
-            [&](const RingEntry &e) { tail.push_back(e.rec); });
+        gatherComponent(static_cast<std::uint16_t>(c), sinks, tail);
         if (tail.size() > per_component)
             tail.erase(tail.begin(),
                        tail.end() -
                            static_cast<std::ptrdiff_t>(per_component));
-        os << "  " << sink.components()[c];
+        os << "  " << meta.components()[c];
         if (tail.empty()) {
             os << ": (no events)\n";
             continue;
         }
         os << ":\n";
         for (const TraceRecord &r : tail)
-            writeOne(os, sink, r);
+            writeOne(os, meta, r);
     }
+}
+
+void
+writeBlackboxTail(std::ostream &os, const TraceSink &sink,
+                  std::size_t per_component)
+{
+    writeBlackboxTailMerged(os, sink, {&sink}, per_component);
 }
 
 } // namespace fenceless::trace

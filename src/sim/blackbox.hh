@@ -5,9 +5,20 @@
  * The TraceSink keeps a small always-on ring of the last N structured
  * events per component (see TraceSink::configureRing).  This module is
  * the dump side: it merges the per-component rings into one totally
- * ordered record stream (by global push sequence, so the merge is
- * deterministic even when several components record at the same tick)
- * and writes it out two ways:
+ * ordered record stream and writes it out two ways.
+ *
+ * Merge order is *canonical*, not capture order: records are gathered
+ * per component (in global component-id order) and stable-sorted by
+ * tick.  Per-component ring order is already tick-monotone, so the
+ * result is a proper time merge in which same-tick records from
+ * different components appear in component-id order.  That rule is
+ * independent of how many host threads produced the records, which is
+ * what makes a sharded run's `--blackbox-out` byte-identical to the
+ * single-threaded reference: the multi-sink variants below gather each
+ * component's ring from whichever shard sink owns it (component ids
+ * are global across shard sinks) and apply the same rule.
+ *
+ * The two output forms:
  *
  *  - writeBlackboxJson(): the merged tail in the exact Chrome
  *    trace-event format `--trace-out` produces, so an incident dump
@@ -46,10 +57,22 @@ inline constexpr std::uint32_t default_blackbox_flags =
     ~static_cast<std::uint32_t>(Flag::Core);
 
 /**
- * The flight-recorder contents as one stream, merged across components
- * in push order (oldest surviving event first).
+ * The flight-recorder contents as one canonically ordered stream (see
+ * the file comment for the merge rule).
  */
 std::vector<TraceRecord> blackboxRecords(const TraceSink &sink);
+
+/**
+ * Multi-sink form for sharded systems: each component's ring entries
+ * are gathered from every sink in @p sinks (exactly one shard sink
+ * records for any given component, so the union is the per-component
+ * stream), then merged canonically.  @p meta names the components;
+ * every sink must share its component-id space (the System guarantees
+ * this by pre-registering the global component list into each sink).
+ */
+std::vector<TraceRecord>
+blackboxRecordsMerged(const TraceSink &meta,
+                      const std::vector<const TraceSink *> &sinks);
 
 /**
  * Write the merged ring tail as a Chrome trace-event JSON document --
@@ -60,6 +83,11 @@ std::vector<TraceRecord> blackboxRecords(const TraceSink &sink);
 void writeBlackboxJson(std::ostream &os, const TraceSink &sink,
                        const std::string &provenance_json);
 
+/** Multi-sink form of writeBlackboxJson (sharded systems). */
+void writeBlackboxJsonMerged(std::ostream &os, const TraceSink &meta,
+                             const std::vector<const TraceSink *> &sinks,
+                             const std::string &provenance_json);
+
 /**
  * Write a human-readable tail: for each component, the last
  * @p per_component ring events with decoded arguments.  Used inside
@@ -67,5 +95,10 @@ void writeBlackboxJson(std::ostream &os, const TraceSink &sink,
  */
 void writeBlackboxTail(std::ostream &os, const TraceSink &sink,
                        std::size_t per_component = 8);
+
+/** Multi-sink form of writeBlackboxTail (sharded systems). */
+void writeBlackboxTailMerged(std::ostream &os, const TraceSink &meta,
+                             const std::vector<const TraceSink *> &sinks,
+                             std::size_t per_component = 8);
 
 } // namespace fenceless::trace

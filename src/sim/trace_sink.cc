@@ -32,11 +32,33 @@ eventKindName(EventKind k)
 std::uint16_t
 TraceSink::registerComponent(const std::string &name)
 {
+    // Idempotent by name: a sharded System pre-registers the global
+    // component list into every shard's sink (in one fixed order), so
+    // the later registration by the component itself must return the
+    // same -- now globally meaningful -- id instead of a duplicate
+    // track.
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        if (components_[i] == name)
+            return static_cast<std::uint16_t>(i);
+    }
     components_.push_back(name);
     ring_heads_.push_back(0);
     if (ring_capacity_ > 0)
         ring_.resize(components_.size() * ring_capacity_);
     return static_cast<std::uint16_t>(components_.size() - 1);
+}
+
+void
+TraceSink::adoptAuxNames(const TraceSink &other)
+{
+    for (std::size_t k = 0; k < other.aux_names_.size(); ++k) {
+        if (other.aux_names_[k].empty())
+            continue;
+        if (aux_names_.size() <= k)
+            aux_names_.resize(k + 1);
+        if (aux_names_[k].empty())
+            aux_names_[k] = other.aux_names_[k];
+    }
 }
 
 void

@@ -14,10 +14,13 @@
  * directory back to the fill.
  *
  * Concurrency / cost model:
- *  - One sink per simulated system (it lives in sim::SimContext), and a
- *    system runs on exactly one host thread, so the hot path is a plain
- *    bounds-checked append -- no locks, no atomics, safe under
- *    `SweepRunner --jobs=N` because sinks share nothing.
+ *  - One sink per sim::SimContext -- i.e. per shard of a simulated
+ *    system -- and a shard runs on exactly one host thread, so the hot
+ *    path is a plain bounds-checked append: no locks, no atomics, safe
+ *    under `SweepRunner --jobs=N` and under sharded (`--shards=N`)
+ *    execution because sinks share nothing.  Sharded Systems merge the
+ *    per-shard streams deterministically at dump time (sim/blackbox.hh,
+ *    harness::System::exportTrace).
  *  - Disabled tracing costs one inline mask test (the FL_TEVENT macro
  *    mirrors FL_TRACE's guard); nothing is evaluated or stored.
  *  - Recording is capped (default 4M events, ~128 MiB) so a runaway
@@ -164,8 +167,22 @@ class TraceSink
 
     // --- component / request identity ------------------------------------
 
-    /** Register a component; the id names its timeline track. */
+    /**
+     * Register a component; the id names its timeline track.
+     * Idempotent: re-registering an existing name returns its id, so a
+     * sharded System can pre-register one global component list into
+     * every shard sink and ids stay identical across sinks.
+     */
     std::uint16_t registerComponent(const std::string &name);
+
+    /**
+     * Copy @p other's aux-name tables for any kind this sink has none
+     * for.  The export/meta sink of a sharded run adopts the tables
+     * components registered into their own shard's sink; tables for
+     * the same kind are identical across components, so first-wins is
+     * exact.
+     */
+    void adoptAuxNames(const TraceSink &other);
 
     const std::vector<std::string> &components() const
     {

@@ -15,22 +15,21 @@ Watchdog::causeName(Cause c)
 }
 
 void
-Watchdog::start()
+Watchdog::prime(Tick now)
 {
     const Progress p = probe_();
     last_instret_ = p.instret;
     last_rollbacks_ = p.rollbacks;
-    window_begin_ = eventq_.curTick();
+    window_begin_ = now;
     report_ = Report{};
-    eventq_.schedule(&check_event_, eventq_.curTick() + params_.interval);
 }
 
-void
-Watchdog::check()
+bool
+Watchdog::checkAt(Tick now)
 {
     const Progress p = probe_();
     if (p.all_halted)
-        return; // clean completion: stop re-arming, let the queue drain
+        return false; // clean completion: nothing left to supervise
 
     const std::uint64_t d_inst = p.instret - last_instret_;
     const std::uint64_t d_rb = p.rollbacks - last_rollbacks_;
@@ -48,19 +47,17 @@ Watchdog::check()
         // a hang: classify it as NoRetirement rather than waiting for
         // the storm threshold.
         r.window_begin = window_begin_;
-        r.fire_tick = eventq_.curTick();
+        r.fire_tick = now;
         r.instret = p.instret;
         r.rollbacks_in_window = d_rb;
         report_ = r;
-        if (on_fire_)
-            on_fire_(report_);
-        return; // do not re-arm; the run is over
+        return true;
     }
 
     last_instret_ = p.instret;
     last_rollbacks_ = p.rollbacks;
-    window_begin_ = eventq_.curTick();
-    eventq_.schedule(&check_event_, eventq_.curTick() + params_.interval);
+    window_begin_ = now;
+    return false;
 }
 
 } // namespace fenceless::sim

@@ -8,10 +8,12 @@
  * max_cycles, telling the user nothing.  The watchdog turns both into
  * a prompt, diagnosable abort.
  *
- * Mechanism: a low-frequency recurring event (default every 100k
- * cycles, priority prio_stat so it never perturbs same-tick component
- * ordering) samples a progress probe -- the sum of retired instructions
- * and rollbacks across all cores.  If a full window passes in which no
+ * Mechanism: the watchdog is a *passive* monitor driven by the
+ * harness's quantum coordinator (see harness::System), which calls
+ * checkAt() every `interval` cycles -- at a quantum boundary, while
+ * every shard's event loop is parked, so the probe may read state from
+ * all shards without racing.  The probe sums retired instructions and
+ * rollbacks across all cores.  If a full window passes in which no
  * core retired anything, that's a hang (NoRetirement); if nothing
  * retired but rollbacks exceeded a storm threshold, that's a livelock
  * (RollbackStorm -- cores are spinning through speculation rollbacks
@@ -19,10 +21,12 @@
  * makes benign rollback-heavy workloads like dekker retire *some*
  * instructions every window, so they never trip this).
  *
- * The watchdog itself keeps the event queue non-empty, so a fully
- * wedged system still reaches the next check instead of exiting the
- * run loop as "quiesced".  Cost: one callback per interval -- zero
- * per-event overhead.
+ * Keeping a wedged-but-empty system alive until the next check is the
+ * coordinator's job (it keeps stepping quantum boundaries while the
+ * watchdog is armed even when every shard queue has drained), so the
+ * watchdog itself needs no event-queue coupling -- which is what lets
+ * one watchdog supervise a simulation sharded across host threads.
+ * Cost: one probe per interval -- zero per-event overhead.
  */
 
 #pragma once
@@ -31,7 +35,6 @@
 #include <functional>
 
 #include "base/types.hh"
-#include "sim/eventq.hh"
 
 namespace fenceless::sim
 {
@@ -69,42 +72,31 @@ class Watchdog
         std::uint64_t rollbacks_in_window = 0;
     };
 
-    Watchdog(EventQueue &eventq, Params params,
-             std::function<Progress()> probe,
-             std::function<void(const Report &)> on_fire)
-        : eventq_(eventq), params_(params), probe_(std::move(probe)),
-          on_fire_(std::move(on_fire)),
-          check_event_([this] { check(); }, "watchdog",
-                       Event::prio_stat)
+    Watchdog(Params params, std::function<Progress()> probe)
+        : params_(params), probe_(std::move(probe))
     {}
 
-    /**
-     * A run that stops on its cycle budget (or an error) leaves the
-     * next check pending; pull it off the queue so destroying the
-     * system does not trip the destroyed-while-scheduled assertion.
-     */
-    ~Watchdog()
-    {
-        if (check_event_.scheduled())
-            eventq_.deschedule(&check_event_);
-    }
+    /** Prime the progress baseline at tick @p now. */
+    void prime(Tick now);
 
-    /** Prime the baseline from the probe and schedule the first check. */
-    void start();
+    /**
+     * Run one progress check at tick @p now (a full window after the
+     * last prime/check).  Returns true when the watchdog fires -- the
+     * report() is then final and the caller should abort the run.
+     * Returns false on a healthy window (baseline re-primed) or when
+     * every core has halted cleanly (no re-arm needed).
+     */
+    bool checkAt(Tick now);
 
     bool fired() const { return report_.cause != Cause::None; }
     const Report &report() const { return report_; }
+    Tick interval() const { return params_.interval; }
 
     static const char *causeName(Cause c);
 
   private:
-    void check();
-
-    EventQueue &eventq_;
     Params params_;
     std::function<Progress()> probe_;
-    std::function<void(const Report &)> on_fire_;
-    EventFunctionWrapper check_event_;
 
     Tick window_begin_ = 0;
     std::uint64_t last_instret_ = 0;

@@ -12,7 +12,14 @@
  *    regardless of worker count;
  *  - a randomized schedule/deschedule/reschedule stress confirms the
  *    two-level queue fires events in exactly the documented
- *    (when, priority, stamp) total order, near and far alike.
+ *    (when, priority, stamp) total order, near and far alike;
+ *  - a sharded run (SystemConfig::shards >= 2) produces stats,
+ *    profile, and flight-recorder documents byte-identical to the
+ *    single-threaded reference, for any shard count, inside or outside
+ *    a host-parallel sweep;
+ *  - cross-shard mailbox drains deliver in the canonical
+ *    (arrival, src, chan_seq) order no matter how the mailboxes were
+ *    permuted.
  */
 
 #include <gtest/gtest.h>
@@ -44,6 +51,73 @@ runAndRenderStats(const harness::SystemConfig &cfg)
     std::ostringstream os;
     sys.writeStatsJson(os);
     return os.str();
+}
+
+/**
+ * Erase the self-describing `"sim_mode"` stanza from a provenance-
+ * stamped document: the one intentional difference between a sharded
+ * run's output and the single-threaded reference's.
+ */
+std::string
+stripSimMode(std::string s)
+{
+    const std::string key = ", \"sim_mode\": {";
+    for (auto pos = s.find(key); pos != std::string::npos;
+         pos = s.find(key)) {
+        const auto end = s.find('}', pos);
+        EXPECT_NE(end, std::string::npos);
+        if (end == std::string::npos)
+            break;
+        s.erase(pos, end - pos + 1);
+    }
+    return s;
+}
+
+/** Every externally-visible document of one run. */
+struct RunArtifacts
+{
+    bool completed = false;
+    std::string stats;        //!< writeStatsJson (sim_mode stripped)
+    std::string profile_json; //!< profile().writeJson
+    std::string folded;       //!< profile().writeFolded
+    std::string blackbox;     //!< writeBlackbox (sim_mode stripped)
+};
+
+/** Build and run one sharded system; collect all output documents. */
+RunArtifacts
+runSharded(std::uint32_t shards)
+{
+    harness::SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.model = cpu::ConsistencyModel::TSO;
+    cfg.withSpeculation().withProfiling().withShards(shards);
+    workload::SpinlockCrit wl;
+    isa::Program prog = wl.build(cfg.num_cores);
+    harness::System sys(cfg, prog);
+
+    RunArtifacts a;
+    a.completed = sys.run();
+    {
+        std::ostringstream os;
+        sys.writeStatsJson(os);
+        a.stats = stripSimMode(os.str());
+    }
+    {
+        std::ostringstream os;
+        sys.profile().writeJson(os);
+        a.profile_json = os.str();
+    }
+    {
+        std::ostringstream os;
+        sys.profile().writeFolded(os);
+        a.folded = os.str();
+    }
+    {
+        std::ostringstream os;
+        sys.writeBlackbox(os);
+        a.blackbox = stripSimMode(os.str());
+    }
+    return a;
 }
 
 /** Sum one scalar stat across all core groups. */
@@ -268,5 +342,148 @@ TEST(Determinism, IdleSleepStallAccountingExercised)
         }
         EXPECT_LE(accounted, group->find("halt_tick")->value() + 1)
             << "core " << i;
+    }
+}
+
+// ---------------------------------------------------------------------
+// sharded simulation: byte-identical to the single-threaded reference
+// ---------------------------------------------------------------------
+
+TEST(Determinism, ShardedRunByteIdenticalToReference)
+{
+    const RunArtifacts ref = runSharded(1);
+    EXPECT_TRUE(ref.completed);
+    EXPECT_FALSE(ref.stats.empty());
+    EXPECT_FALSE(ref.profile_json.empty());
+    EXPECT_FALSE(ref.blackbox.empty());
+
+    for (std::uint32_t shards : {2u, 4u}) {
+        const RunArtifacts got = runSharded(shards);
+        EXPECT_EQ(got.completed, ref.completed) << shards << " shards";
+        EXPECT_EQ(got.stats, ref.stats) << shards << " shards";
+        EXPECT_EQ(got.profile_json, ref.profile_json)
+            << shards << " shards";
+        EXPECT_EQ(got.folded, ref.folded) << shards << " shards";
+        EXPECT_EQ(got.blackbox, ref.blackbox) << shards << " shards";
+    }
+}
+
+TEST(Determinism, ShardedRunByteIdenticalInsideParallelSweep)
+{
+    // Shard-level threads must compose with sweep-level threads: the
+    // same shards x jobs grid always lands on the reference output.
+    auto make_tasks = [] {
+        std::vector<std::function<std::string()>> tasks;
+        for (std::uint32_t shards : {1u, 2u, 4u}) {
+            tasks.push_back([shards]() -> std::string {
+                return runSharded(shards).stats;
+            });
+        }
+        return tasks;
+    };
+
+    harness::SweepRunner serial(1);
+    harness::SweepRunner parallel(4);
+    const auto seq = serial.map(make_tasks());
+    const auto par = parallel.map(make_tasks());
+    ASSERT_EQ(seq.size(), par.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(seq[i], par[i]) << "task " << i;
+        EXPECT_EQ(seq[i], seq[0]) << "shard count leaked into stats";
+    }
+}
+
+TEST(Determinism, CrossShardDrainOrderCanonical)
+{
+    // Mailbox drains hand arrivals to the network in whatever order the
+    // source shards filled them; the per-node ingress heap must restore
+    // the canonical (arrival, src, chan_seq) delivery order.  Permute
+    // the handoff order randomly and check delivery stays put.
+    Random rng(98765);
+
+    struct Delivery
+    {
+        mem::NodeId src;
+        std::uint64_t req_id;
+        Tick tick;
+
+        bool operator==(const Delivery &) const = default;
+    };
+
+    std::vector<Delivery> reference;
+    for (int round = 0; round < 20; ++round) {
+        sim::SimContext ctx;
+        mem::Network::Params p;
+        p.latency = 4;
+        mem::Network net(ctx, "net", p);
+
+        // Node 0 (the receiver) on shard 0; sender nodes 1..4 on a
+        // different shard, so every send crosses the mailbox.
+        struct Collector : mem::MsgReceiver
+        {
+            sim::SimContext *ctx;
+            std::vector<Delivery> seen;
+            void
+            receiveMsg(const mem::Msg &m) override
+            {
+                seen.push_back({m.src, m.req_id, ctx->curTick()});
+            }
+        };
+        Collector sink;
+        sink.ctx = &ctx;
+        net.bindNode(0, ctx, 0);
+        for (mem::NodeId s = 1; s <= 4; ++s)
+            net.bindNode(s, ctx, 1);
+        net.registerEndpoint(0, &sink);
+
+        std::vector<mem::Network::PendingMsg> mailbox;
+        net.setCrossShardPush(
+            [&](std::uint32_t, std::uint32_t,
+                mem::Network::PendingMsg &&pm) {
+                mailbox.push_back(std::move(pm));
+            });
+
+        // The message pattern is fixed across rounds (only the drain
+        // permutation below varies, via the outer rng).
+        Random msg_rng(4242);
+        std::uint64_t next_id = 0;
+        for (int i = 0; i < 40; ++i) {
+            mem::Msg m;
+            m.type = (i % 3 == 0) ? mem::MsgType::DataM
+                                  : mem::MsgType::GetS;
+            m.src = 1 + static_cast<mem::NodeId>(msg_rng.range(0, 3));
+            m.dst = 0;
+            m.block_addr = 64 * static_cast<Addr>(i);
+            m.req_id = ++next_id;
+            if (m.type == mem::MsgType::DataM)
+                m.data.assign(64, 0xab);
+            net.send(std::move(m));
+        }
+        ASSERT_EQ(mailbox.size(), 40u);
+
+        // The drain order is arbitrary: shuffle before handing over.
+        for (std::size_t i = mailbox.size(); i > 1; --i) {
+            std::swap(mailbox[i - 1],
+                      mailbox[rng.range(0, i - 1)]);
+        }
+        for (auto &pm : mailbox)
+            net.enqueueArrival(std::move(pm));
+        ctx.eventq.run();
+
+        ASSERT_EQ(sink.seen.size(), 40u);
+        if (round == 0) {
+            reference = sink.seen;
+            // Deliveries are tick-monotone and, within a tick, ordered
+            // by source node id.
+            for (std::size_t i = 1; i < reference.size(); ++i) {
+                ASSERT_LE(reference[i - 1].tick, reference[i].tick);
+                if (reference[i - 1].tick == reference[i].tick) {
+                    ASSERT_LE(reference[i - 1].src,
+                              reference[i].src);
+                }
+            }
+        } else {
+            EXPECT_EQ(sink.seen, reference) << "round " << round;
+        }
     }
 }

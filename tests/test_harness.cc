@@ -86,6 +86,69 @@ TEST(Options, UnknownOptionIsFatal)
                 "unknown option");
 }
 
+TEST(Options, ParallelSimAndShards)
+{
+    // Explicit shard count.
+    SystemConfig cfg =
+        parse({"--cores=8", "--shards=4"}).applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.shards, 4u);
+
+    // --parallel-sim=0 wins over --shards: the reference mode.
+    cfg = parse({"--cores=8", "--parallel-sim=0", "--shards=4"})
+              .applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.shards, 1u);
+
+    // --parallel-sim alone picks a host-sized default within the
+    // finest partition (cores + 1).
+    cfg = parse({"--cores=4", "--parallel-sim=1"})
+              .applyTo(SystemConfig{});
+    EXPECT_GE(cfg.shards, 1u);
+    EXPECT_LE(cfg.shards, 5u);
+
+    // Validation is non-fatal: garbage warns and falls back.
+    cfg = parse({"--cores=4", "--shards=lots"})
+              .applyTo(SystemConfig{});
+    EXPECT_GE(cfg.shards, 1u);
+    EXPECT_LE(cfg.shards, 5u);
+
+    // Over-sharding clamps to the finest partition.
+    cfg = parse({"--cores=2", "--shards=64"}).applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.shards, 3u);
+}
+
+TEST(Options, SimModeEchoedIntoProvenance)
+{
+    // How the run was invoked must be recoverable from any output
+    // document: stats, trace, and blackbox all embed the provenance
+    // object, which carries the sim_mode stanza.
+    isa::Assembler as;
+    as.nop();
+    as.halt();
+    isa::Program prog = as.finish();
+
+    harness::SystemConfig cfg = testConfig(2);
+    cfg.shards = 2;
+    harness::System sys(cfg, prog);
+    ASSERT_TRUE(sys.run());
+    EXPECT_NE(sys.provenanceJson().find(
+                  "\"sim_mode\": {\"parallel_sim\": 1, \"shards\": 2}"),
+              std::string::npos);
+
+    for (auto write : {&harness::System::writeStatsJson,
+                       &harness::System::exportTrace,
+                       &harness::System::writeBlackbox}) {
+        std::ostringstream os;
+        (sys.*write)(os);
+        EXPECT_NE(os.str().find("\"sim_mode\""), std::string::npos);
+    }
+
+    harness::System ref(testConfig(2), prog);
+    ASSERT_TRUE(ref.run());
+    EXPECT_NE(ref.provenanceJson().find(
+                  "\"sim_mode\": {\"parallel_sim\": 0, \"shards\": 1}"),
+              std::string::npos);
+}
+
 TEST(Options, BadNumberIsFatal)
 {
     EXPECT_EXIT(parse({"--cores=banana"}).applyTo(SystemConfig{}),
