@@ -338,6 +338,8 @@ writeObservability(const harness::System &sys,
     }
     if (opts.profiling() && !writeProfileArtifacts(sys.profile(), opts))
         return false;
+    if (opts.shardReport())
+        sys.writeShardReport(std::cout);
     return true;
 }
 

@@ -291,6 +291,47 @@ BENCHMARK(BM_FullSystemParallel)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Sharded parallel simulation with host-waste telemetry on: the
+ * BM_FullSystemParallel workload plus per-shard busy/barrier/drain
+ * accounting, the message grid and boundary-cause classification.
+ * The regression guard holds this within 5% of BM_FullSystemParallel
+ * at the same shard count -- the budget that makes --shard-report
+ * cheap enough to leave on in sharded runs.
+ */
+void
+BM_FullSystemParallelTelemetry(benchmark::State &state)
+{
+    const auto shards = static_cast<std::uint32_t>(state.range(0));
+    std::uint64_t sim_insts = 0;
+    double quanta = 0;
+    for (auto _ : state) {
+        harness::SystemConfig cfg;
+        cfg.num_cores = 16;
+        cfg.model = cpu::ConsistencyModel::TSO;
+        cfg.withShards(shards);
+        cfg.withHostTelemetry();
+        cfg.blackbox_records = 0; // measure the telemetry cost alone
+        cfg.watchdog_interval = 0;
+        workload::SpinlockCrit wl;
+        isa::Program prog = wl.build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        const bool done = sys.run();
+        benchmark::DoNotOptimize(done);
+        sim_insts += sys.totalInstructions();
+        quanta = static_cast<double>(sys.telemetry().coord().steps);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
+    state.counters["quanta"] = quanta;
+    state.counters["shards"] = static_cast<double>(shards);
+    state.counters["host_cpus"] =
+        static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_FullSystemParallelTelemetry)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void
 BM_ParallelSweep(benchmark::State &state)
 {

@@ -33,6 +33,16 @@ claim is only meaningful when the host physically has the cores, so an
 under-provisioned runner skips the floor with an explicit note rather
 than failing (or trivially passing) on hardware that cannot show it.
 
+Parallel benchmarks are baseline-guarded with the same gate on BOTH
+sides: a baseline entry whose recorded host_cpus is smaller than its
+shard count was measured on a machine that could not actually run the
+shards concurrently (its numbers are serialization artifacts, not a
+performance floor), and a fresh run on such a machine cannot be held
+to a properly-provisioned baseline either.  Stale baselines of this
+kind are skipped per benchmark with a printed notice instead of
+producing a comparison that is either trivially passed or spuriously
+failed.
+
 Benchmarks present in only one file are reported but never fatal, so
 adding or renaming benchmarks does not break CI in the same PR.
 """
@@ -42,13 +52,19 @@ import statistics
 import sys
 
 GUARDED_PREFIXES = ("BM_EventQueue", "BM_FullSystem/",
-                    "BM_FullSystemProfiled", "BM_FullSystemBlackbox")
+                    "BM_FullSystemProfiled", "BM_FullSystemBlackbox",
+                    "BM_FullSystemParallel/",
+                    "BM_FullSystemParallelTelemetry/")
 
 # (benchmark, reference, max fractional slowdown vs reference) --
 # checked within the fresh file only.
 RELATIVE_GUARDS = (
     ("BM_FullSystemBlackbox", "BM_FullSystem/1", 0.05),
     ("BM_FullSystemProfiled", "BM_FullSystem/1", 0.10),
+    # Host-waste telemetry: same 16-core sharded run with the per-shard
+    # accounting on; ISSUE budget is 5% at matched shard count.
+    ("BM_FullSystemParallelTelemetry/4/real_time",
+     "BM_FullSystemParallel/4/real_time", 0.05),
 )
 
 # Sharded parallel simulation: best BM_FullSystemParallel/N vs the /1
@@ -58,6 +74,24 @@ PARALLEL_PREFIX = "BM_FullSystemParallel/"
 PARALLEL_REF = "BM_FullSystemParallel/1"
 PARALLEL_SPEEDUP_FLOOR = 2.5
 PARALLEL_MIN_HOST_CPUS = 8
+
+# Benchmarks whose baseline comparison is only meaningful when the
+# recording host had at least as many hardware threads as shards.
+PARALLEL_GUARD_PREFIXES = ("BM_FullSystemParallel/",
+                           "BM_FullSystemParallelTelemetry/")
+
+
+def parallel_provisioning(counters, name):
+    """(shards, host_cpus) a run recorded for @p name, or None.
+
+    Entries predating the shards/host_cpus counters get (None): with
+    no provenance there is nothing to gate on, so they are treated as
+    stale rather than trusted.
+    """
+    c = counters.get(name, {})
+    if "shards" not in c or "host_cpus" not in c:
+        return None
+    return c["shards"], c["host_cpus"]
 
 
 def load(path):
@@ -155,7 +189,8 @@ def check_parallel_speedup(fresh, counters):
     return []
 
 
-def check_baselines(baselines, fresh, threshold):
+def check_baselines(baselines, fresh, threshold,
+                    baseline_counters, fresh_counters):
     """Guarded benchmarks vs their best baseline.  Returns failures."""
     failures = []
     guarded = sorted(
@@ -164,6 +199,34 @@ def check_baselines(baselines, fresh, threshold):
     for name in guarded:
         bases = {path: b[name] for path, b in baselines.items()
                  if name in b}
+        if name.startswith(PARALLEL_GUARD_PREFIXES):
+            # Stale-baseline gate: a parallel benchmark recorded on a
+            # host with fewer hardware threads than shards measured
+            # serialized shards, not parallel execution.
+            fresh_prov = parallel_provisioning(fresh_counters, name)
+            if fresh_prov is not None and fresh_prov[1] < fresh_prov[0]:
+                print(f"note: {name}: baseline comparison skipped -- "
+                      f"this host reports {fresh_prov[1]:.0f} hardware "
+                      f"thread(s), fewer than the benchmark's "
+                      f"{fresh_prov[0]:.0f} shards")
+                continue
+            for path in sorted(bases):
+                prov = parallel_provisioning(
+                    baseline_counters.get(path, {}), name)
+                if prov is None or prov[1] < prov[0]:
+                    detail = ("no shards/host_cpus counters"
+                              if prov is None else
+                              f"{prov[1]:.0f} hardware thread(s) for "
+                              f"{prov[0]:.0f} shards")
+                    print(f"note: {name}: stale baseline {path} "
+                          f"skipped ({detail}; its numbers measured "
+                          f"serialized shards)")
+                    del bases[path]
+            if not bases:
+                print(f"note: {name}: every baseline is stale; "
+                      f"commit a refreshed BENCH_simperf.json from a "
+                      f"host with enough hardware threads to guard it")
+                continue
         if name not in fresh:
             # A guarded benchmark vanishing would otherwise pass the
             # guard silently; removing one on purpose means updating
@@ -226,10 +289,14 @@ def main(argv):
 
     baselines = {path: load(path) for path in paths[:-1]}
     fresh = load(paths[-1])
+    baseline_counters = {path: load_counters(path)
+                         for path in paths[:-1]}
+    fresh_counters = load_counters(paths[-1])
 
-    failures = check_baselines(baselines, fresh, threshold)
+    failures = check_baselines(baselines, fresh, threshold,
+                               baseline_counters, fresh_counters)
     failures += check_relative(fresh)
-    failures += check_parallel_speedup(fresh, load_counters(paths[-1]))
+    failures += check_parallel_speedup(fresh, fresh_counters)
 
     baseline_names = set()
     for b in baselines.values():

@@ -26,6 +26,101 @@ printNumber(std::ostream &os, double v)
 
 } // namespace
 
+namespace
+{
+
+// 8 sub-buckets per power of two above the exact range [0, 8).
+constexpr unsigned sub_bits = 3;
+constexpr unsigned sub_buckets = 1u << sub_bits;
+
+} // namespace
+
+std::size_t
+PercentileSketch::bucketOf(double v)
+{
+    if (!(v > 0.0))
+        return 0; // negatives, zero and NaN all land in bucket 0
+    // Clamp instead of overflowing: anything at or beyond 2^63 shares
+    // the top bucket, which only flattens the extreme tail.
+    const double ceiling = 9.2e18;
+    const auto u = static_cast<std::uint64_t>(v < ceiling ? v : ceiling);
+    if (u < sub_buckets)
+        return static_cast<std::size_t>(u);
+    const unsigned order = 63u - static_cast<unsigned>(
+        __builtin_clzll(u));
+    const auto sub = static_cast<std::size_t>(
+        (u >> (order - sub_bits)) & (sub_buckets - 1));
+    return static_cast<std::size_t>(order - sub_bits + 1) * sub_buckets
+           + sub;
+}
+
+double
+PercentileSketch::bucketValue(std::size_t idx)
+{
+    if (idx < sub_buckets)
+        return static_cast<double>(idx);
+    const unsigned order =
+        static_cast<unsigned>(idx / sub_buckets) + sub_bits - 1;
+    const auto sub = static_cast<std::uint64_t>(idx % sub_buckets);
+    const std::uint64_t lo = (sub_buckets + sub) << (order - sub_bits);
+    const std::uint64_t width = 1ull << (order - sub_bits);
+    // Midpoint of the bucket's value range: halves the worst-case
+    // error versus reporting the lower edge.
+    return static_cast<double>(lo)
+           + static_cast<double>(width - 1) / 2.0;
+}
+
+void
+PercentileSketch::add(double v, std::uint64_t times)
+{
+    if (times == 0)
+        return;
+    const std::size_t idx = bucketOf(v);
+    if (idx >= counts_.size())
+        counts_.resize(idx + 1, 0);
+    counts_[idx] += times;
+    total_ += times;
+}
+
+void
+PercentileSketch::merge(const PercentileSketch &other)
+{
+    if (other.counts_.size() > counts_.size())
+        counts_.resize(other.counts_.size(), 0);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
+double
+PercentileSketch::quantile(double q) const
+{
+    if (total_ == 0)
+        return 0.0;
+    // Nearest-rank: the k-th smallest sample with k = ceil(q * n),
+    // clamped into [1, n].
+    double rank_d = std::ceil(q * static_cast<double>(total_));
+    if (rank_d < 1.0)
+        rank_d = 1.0;
+    auto rank = static_cast<std::uint64_t>(rank_d);
+    if (rank > total_)
+        rank = total_;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        cumulative += counts_[i];
+        if (cumulative >= rank)
+            return bucketValue(i);
+    }
+    return bucketValue(counts_.empty() ? 0 : counts_.size() - 1);
+}
+
+void
+PercentileSketch::reset()
+{
+    counts_.clear();
+    total_ = 0;
+}
+
 void
 Stat::print(std::ostream &os, int name_width) const
 {
@@ -62,14 +157,18 @@ Distribution::sample(double v, std::uint64_t times)
     mean_ += delta * static_cast<double>(times)
              / static_cast<double>(count_);
     m2_ += static_cast<double>(times) * delta * (v - mean_);
+    sketch_.add(v, times);
 }
 
 void
 Distribution::merge(std::uint64_t count, double sum, double mean,
-                    double m2, double min, double max)
+                    double m2, double min, double max,
+                    const PercentileSketch *sketch)
 {
     if (count == 0)
         return;
+    if (sketch)
+        sketch_.merge(*sketch);
     if (count_ == 0) {
         count_ = count;
         sum_ = sum;
@@ -141,6 +240,7 @@ Distribution::reset()
     m2_ = 0.0;
     min_ = 0.0;
     max_ = 0.0;
+    sketch_.reset();
 }
 
 Histogram::Histogram(std::string name, std::string desc, double lo,

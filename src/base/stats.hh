@@ -83,7 +83,47 @@ class Scalar : public Stat
 };
 
 /**
- * Online mean / min / max / stddev over sampled values.
+ * Order-independent percentile estimator over non-negative samples.
+ *
+ * Log-linear buckets (HDR style): values below 8 get one bucket each
+ * (exact for the small integer latencies that dominate), larger values
+ * share 8 sub-buckets per power of two (<= ~6% relative error).  All
+ * state is integer counts, so merging two sketches is an elementwise
+ * add -- commutative and associative -- which makes the estimates
+ * merge-stable: a sharded run folding per-producer sketches in any
+ * grouping lands on the same counts as one single-threaded
+ * accumulation, bucket for bucket.
+ */
+class PercentileSketch
+{
+  public:
+    void add(double v, std::uint64_t times = 1);
+
+    /** Elementwise-add @p other's bucket counts into this sketch. */
+    void merge(const PercentileSketch &other);
+
+    /**
+     * Nearest-rank quantile estimate for @p q in (0, 1]: the
+     * representative value of the bucket holding the ceil(q * n)-th
+     * smallest sample.  0 with no samples.
+     */
+    double quantile(double q) const;
+
+    std::uint64_t samples() const { return total_; }
+
+    void reset();
+
+  private:
+    static std::size_t bucketOf(double v);
+    static double bucketValue(std::size_t idx);
+
+    std::vector<std::uint64_t> counts_; //!< grown lazily to the max bucket
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * Online mean / min / max / stddev over sampled values, plus
+ * p50/p95/p99 percentile estimates from an embedded PercentileSketch.
  *
  * The variance uses Welford's online algorithm (weighted for repeated
  * samples): the naive sqsum/n - mean^2 form cancels catastrophically
@@ -102,10 +142,13 @@ class Distribution : public Stat
      * distribution (Chan's parallel-combine formula).  Sharded
      * simulation keeps one accumulator per producer and folds them in
      * a fixed order at the end of the run, so the result is identical
-     * no matter which host thread produced which samples.
+     * no matter which host thread produced which samples.  A producer
+     * that also kept a PercentileSketch passes it as @p sketch so the
+     * percentile estimates stay shard-count-invariant too.
      */
     void merge(std::uint64_t count, double sum, double mean, double m2,
-               double min, double max);
+               double min, double max,
+               const PercentileSketch *sketch = nullptr);
 
     std::uint64_t samples() const { return count_; }
     double total() const { return sum_; }
@@ -113,6 +156,9 @@ class Distribution : public Stat
     double minValue() const { return count_ ? min_ : 0.0; }
     double maxValue() const { return count_ ? max_ : 0.0; }
     double stdev() const;
+
+    /** Percentile estimate (see PercentileSketch::quantile). */
+    double percentile(double q) const { return sketch_.quantile(q); }
 
     /** A distribution's headline value is its mean. */
     double value() const override { return mean(); }
@@ -128,6 +174,7 @@ class Distribution : public Stat
     double m2_ = 0.0;   //!< Welford sum of squared deviations
     double min_ = 0.0;
     double max_ = 0.0;
+    PercentileSketch sketch_;
 };
 
 /** Linear-bucketed histogram over [lo, hi) plus under/overflow buckets. */

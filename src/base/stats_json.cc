@@ -69,6 +69,12 @@ printJson(std::ostream &os, const Stat &stat)
         printJsonNumber(os, d->maxValue());
         os << ", \"stdev\": ";
         printJsonNumber(os, d->stdev());
+        os << ", \"p50\": ";
+        printJsonNumber(os, d->percentile(0.50));
+        os << ", \"p95\": ";
+        printJsonNumber(os, d->percentile(0.95));
+        os << ", \"p99\": ";
+        printJsonNumber(os, d->percentile(0.99));
         os << ", \"total\": ";
         printJsonNumber(os, d->total());
         os << "}";

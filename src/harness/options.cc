@@ -21,7 +21,7 @@ const char *known_options[] = {
     "jobs", "csv", "trace", "trace-out", "stats-json", "stats-interval",
     "profile-out", "waste-report", "blackbox-out", "blackbox",
     "watchdog-interval", "watchdog-storm", "parallel-sim", "shards",
-    "help",
+    "shard-report", "host-telemetry", "help",
 };
 
 bool
@@ -182,6 +182,13 @@ Options::applyTo(SystemConfig base) const
         base.watchdog_interval = getInt("watchdog-interval", 0);
     if (has("watchdog-storm"))
         base.watchdog_storm = getInt("watchdog-storm", 0);
+    // --shard-report implies telemetry; --host-telemetry[=0|1] sets it
+    // directly (so a report-less run can still feed the stats-json
+    // "host" section and the trace's host tracks).
+    if (has("shard-report") || (has("host-telemetry") &&
+                                getInt("host-telemetry", 1) != 0)) {
+        base.host_telemetry = true;
+    }
 
     // --parallel-sim / --shards: non-fatal validation, like the trace
     // flag parser -- a bad value must not kill a scripted sweep, since
@@ -282,6 +289,11 @@ Options::printUsage(const std::string &prog)
         << "  --shards=N            shard count for --parallel-sim\n"
            "                        (default: hardware concurrency,\n"
            "                        clamped to cores+1)\n"
+        << "  --shard-report        print the host-waste shard report\n"
+           "                        (enables host telemetry)\n"
+        << "  --host-telemetry=0|1  per-shard busy/barrier/drain\n"
+           "                        accounting, stats-json host section\n"
+           "                        and host trace tracks\n"
         << "  --help                this message\n";
 }
 

@@ -49,6 +49,11 @@
  *     --shards=N           shard count when --parallel-sim is on
  *                          (default: hardware concurrency, clamped to
  *                          cores + 1; validation warns, never aborts)
+ *     --shard-report       print the host-waste shard report after the
+ *                          run (implies --host-telemetry)
+ *     --host-telemetry=0|1 per-shard busy/barrier/drain accounting,
+ *                          the stats-json "host" section and host
+ *                          tracks in --trace-out
  *     --help               print usage and exit
  *
  * Output paths (--trace-out, --stats-json, --profile-out) are opened
@@ -105,6 +110,9 @@ class Options
 
     /** @return true if --waste-report was passed. */
     bool wasteReport() const { return has("waste-report"); }
+
+    /** @return true if --shard-report was passed. */
+    bool shardReport() const { return has("shard-report"); }
 
     /** @return true if any profiler output was requested. */
     bool

@@ -10,6 +10,7 @@
 #include "base/provenance.hh"
 #include "base/stats_json.hh"
 #include "base/trace.hh"
+#include "harness/table.hh"
 #include "isa/interp.hh"
 #include "sim/blackbox.hh"
 
@@ -131,9 +132,30 @@ System::System(const SystemConfig &config, const isa::Program &prog)
             for (std::uint32_t i = 0; i < config_.num_cores; ++i)
                 comp_names.push_back("spec_" + std::to_string(i));
         }
+        // Host tracks come last so guest component ids are unchanged
+        // by enabling telemetry, and only exist when it is on: the
+        // component list shapes every trace/blackbox dump, and a
+        // telemetry-off dump must stay byte-identical across shard
+        // counts.
+        if (config_.host_telemetry) {
+            telemetry_.configure(shards_);
+            for (std::uint32_t s = 0; s < shards_; ++s)
+                comp_names.push_back("host.shard" + std::to_string(s));
+            comp_names.emplace_back("host.coord");
+        }
         for (auto &sctx : shard_ctx_) {
             for (const std::string &name : comp_names)
                 sctx->tracer.registerComponent(name);
+        }
+        if (config_.host_telemetry) {
+            for (std::uint32_t s = 0; s < shards_; ++s) {
+                host_comp_.push_back(ctx_.tracer.registerComponent(
+                    "host.shard" + std::to_string(s)));
+            }
+            coord_comp_ = ctx_.tracer.registerComponent("host.coord");
+            ctx_.tracer.setAuxNames(
+                trace::EventKind::HostCoord,
+                {"lookahead", "snapshot", "watchdog", "budget", "idle"});
         }
     }
 
@@ -175,6 +197,10 @@ System::System(const SystemConfig &config, const isa::Program &prog)
     network_->setCrossShardPush(
         [this](std::uint32_t src, std::uint32_t dst,
                mem::Network::PendingMsg &&pm) {
+            // Single-writer per (src, dst) cell: this runs on the
+            // sending shard's thread, same as the mailbox push.
+            if (telemetry_.enabled())
+                telemetry_.countMessage(src, dst);
             mail_[src * shards_ + dst].push_back(std::move(pm));
         });
 
@@ -250,6 +276,13 @@ System::run()
     drv_.boundary = nextBoundaryAfter(
         drv_.now, false, totalHalted() == config_.num_cores);
 
+    if (telemetry_.enabled()) {
+        // Event counting works on pop deltas per quantum; re-anchor in
+        // case this System runs more than once.
+        for (std::uint32_t s = 0; s < shards_; ++s)
+            telemetry_.slot(s).last_pops = shardPops(s);
+    }
+
     runShards();
     drv_.active = false;
 
@@ -279,8 +312,34 @@ System::runShards()
         // thread, with no barriers and (absent snapshots/watchdog) a
         // single quantum spanning the whole run.
         auto prev = setPanicHook(panic_dump);
+        const bool tm = telemetry_.enabled();
+        const bool rec = tm && ctx_.tracer.wants(trace::Flag::Host);
         while (!drv_.done) {
-            ctx_.eventq.run(drv_.boundary - 1);
+            // Wall-clock phases are sampled (see telemetry.hh); the
+            // sampling decision is a function of the coordinator step
+            // count, which coordinatorStep() evaluates identically.
+            const bool sample =
+                tm && (rec || ShardTelemetry::sampleQuantum(
+                                  telemetry_.coord().steps));
+            if (sample) {
+                const Tick qstart = drv_.now;
+                const Tick qend = drv_.boundary;
+                const std::uint64_t t0 = ShardTelemetry::nowNs();
+                ctx_.eventq.run(drv_.boundary - 1);
+                const std::uint64_t busy = ShardTelemetry::nowNs() - t0;
+                telemetry_.slot(0).q_busy_ns = busy;
+                if (rec && busy) {
+                    // An open-ended quantum (boundary = max_tick) ends
+                    // where the events ran out.
+                    const Tick qe =
+                        qend == max_tick ? ctx_.curTick() + 1 : qend;
+                    ctx_.tracer.record(host_comp_[0],
+                                       trace::EventKind::HostPhase,
+                                       qstart, qe, busy, 0);
+                }
+            } else {
+                ctx_.eventq.run(drv_.boundary - 1);
+            }
             coordinatorStep();
         }
         setPanicHook(std::move(prev));
@@ -306,14 +365,68 @@ System::runShards()
     for (std::uint32_t s = 0; s < shards_; ++s) {
         threads.emplace_back([this, s, &sync, &panic_dump] {
             setPanicHook(panic_dump);
-            sim::EventQueue &eq = shard_ctx_[s]->eventq;
+            sim::SimContext &sctx = *shard_ctx_[s];
+            sim::EventQueue &eq = sctx.eventq;
+            const bool tm = telemetry_.enabled();
+            const bool rec = tm && sctx.tracer.wants(trace::Flag::Host);
             while (true) {
+                // Wall-clock sampling decision (see telemetry.hh): a
+                // pure function of the coordinator step count, which
+                // is only written inside barrier completions while
+                // every shard thread is parked -- so all shards read
+                // the same value here and agree with the coordinator.
+                const bool sample =
+                    tm && (rec || ShardTelemetry::sampleQuantum(
+                                      telemetry_.coord().steps));
+                if (!sample) {
+                    eq.run(drv_.boundary - 1);
+                    sync.arrive_and_wait(); // completion: coordinatorStep
+                    if (drv_.done)
+                        break;
+                    drainMail(s);
+                    sync.arrive_and_wait(); // drains done before next run
+                    continue;
+                }
+                // Instrumented quantum.  The boundary/now snapshot is
+                // taken while every thread is between barriers, where
+                // the coordinator never writes; the scratch q_busy_ns
+                // is folded by the coordinator inside the completion
+                // step, and the totals below are only ever touched by
+                // this thread outside it.
+                ShardTelemetry::ShardSlot &sl = telemetry_.slot(s);
+                const Tick qstart = drv_.now;
+                const Tick qend = drv_.boundary;
+                const std::uint64_t t0 = ShardTelemetry::nowNs();
                 eq.run(drv_.boundary - 1);
+                const std::uint64_t t1 = ShardTelemetry::nowNs();
+                sl.q_busy_ns = t1 - t0;
+                const Tick qe =
+                    qend == max_tick ? sctx.curTick() + 1 : qend;
+                if (rec && t1 != t0) {
+                    sctx.tracer.record(host_comp_[s],
+                                       trace::EventKind::HostPhase,
+                                       qstart, qe, t1 - t0, 0);
+                }
                 sync.arrive_and_wait(); // completion: coordinatorStep()
+                const std::uint64_t t2 = ShardTelemetry::nowNs();
+                sl.barrier_ns += t2 - t1;
+                if (rec && t2 != t1) {
+                    sctx.tracer.record(host_comp_[s],
+                                       trace::EventKind::HostPhase,
+                                       qstart, qe, t2 - t1, 1);
+                }
                 if (drv_.done)
                     break;
                 drainMail(s);
-                sync.arrive_and_wait(); // all drains done before next run
+                const std::uint64_t t3 = ShardTelemetry::nowNs();
+                sl.drain_ns += t3 - t2;
+                if (rec && t3 != t2) {
+                    sctx.tracer.record(host_comp_[s],
+                                       trace::EventKind::HostPhase,
+                                       qstart, qe, t3 - t2, 2);
+                }
+                sync.arrive_and_wait(); // drains done before next run
+                sl.barrier_ns += ShardTelemetry::nowNs() - t3;
             }
         });
     }
@@ -332,8 +445,85 @@ System::onBarrier() noexcept
         coordinatorStep();
 }
 
+std::uint64_t
+System::shardPops(std::uint32_t s) const
+{
+    const sim::EventQueue &eq = shard_ctx_[s]->eventq;
+    return eq.nearPops() + eq.farPops();
+}
+
+void
+System::foldQuantumTelemetry(bool sampled)
+{
+    // Runs in the barrier completion (threads parked) or inline: free
+    // to read every shard's queue counters and scratch fields.  The
+    // deterministic counters fold every quantum; the wall-clock view
+    // (busy sums, imbalance, laggard) only on sampled quanta, where
+    // the shard threads actually took timestamps.
+    std::uint64_t max_busy = 0;
+    std::uint32_t laggard = 0;
+    if (sampled) {
+        for (std::uint32_t s = 0; s < shards_; ++s) {
+            const std::uint64_t busy = telemetry_.slot(s).q_busy_ns;
+            if (busy > max_busy) {
+                max_busy = busy;
+                laggard = s;
+            }
+        }
+    }
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+        ShardTelemetry::ShardSlot &sl = telemetry_.slot(s);
+        const std::uint64_t pops = shardPops(s);
+        const std::uint64_t events = pops - sl.last_pops;
+        sl.last_pops = pops;
+        sl.events += events;
+        ++sl.quanta;
+        if (events == 0)
+            ++sl.idle_quanta;
+        if (sampled) {
+            ++sl.sampled_quanta;
+            sl.busy_ns += sl.q_busy_ns;
+            sl.imbalance_ns += max_busy - sl.q_busy_ns;
+            sl.q_busy_ns = 0;
+        }
+    }
+    if (sampled && shards_ >= 2 && max_busy > 0)
+        ++telemetry_.slot(laggard).laggard_quanta;
+}
+
 void
 System::coordinatorStep()
+{
+    if (!telemetry_.enabled()) {
+        coordinatorStepImpl(nullptr);
+        return;
+    }
+    const bool rec = ctx_.tracer.wants(trace::Flag::Host);
+    ShardTelemetry::Coordinator &co = telemetry_.coord();
+    // Same sampling predicate the shard threads evaluated at the top
+    // of this quantum: co.steps has not been incremented yet.
+    const bool sampled = rec || ShardTelemetry::sampleQuantum(co.steps);
+    const std::uint64_t t0 = sampled ? ShardTelemetry::nowNs() : 0;
+    foldQuantumTelemetry(sampled);
+    BoundaryCause cause = BoundaryCause::NumCauses;
+    coordinatorStepImpl(&cause);
+    ++co.steps;
+    if (cause != BoundaryCause::NumCauses)
+        ++co.causes[static_cast<std::size_t>(cause)];
+    if (sampled) {
+        ++co.sampled_steps;
+        const std::uint64_t ns = ShardTelemetry::nowNs() - t0;
+        co.ns += ns;
+        if (rec) {
+            ctx_.tracer.record(coord_comp_, trace::EventKind::HostCoord,
+                               drv_.now, 0, ns,
+                               static_cast<std::uint32_t>(cause));
+        }
+    }
+}
+
+void
+System::coordinatorStepImpl(BoundaryCause *cause)
 {
     const Tick b = drv_.boundary;
     drv_.now = b;
@@ -380,20 +570,39 @@ System::coordinatorStep()
         }
     }
 
-    drv_.boundary = nextBoundaryAfter(b, idle, all_halted);
+    drv_.boundary = nextBoundaryAfter(b, idle, all_halted, cause);
 }
 
 Tick
-System::nextBoundaryAfter(Tick b, bool idle, bool all_halted) const
+System::nextBoundaryAfter(Tick b, bool idle, bool all_halted,
+                          BoundaryCause *cause) const
 {
     // The quantum term only applies when shards actually have work to
     // exchange; an idle system jumps straight to the next coordinator
     // action.  Every other term is a coordinator deadline.
-    Tick nb = (shards_ >= 2 && !idle) ? b + lookahead() : max_tick;
+    const Tick quantum =
+        (shards_ >= 2 && !idle) ? b + lookahead() : max_tick;
+    Tick nb = quantum;
     nb = std::min(nb, drv_.next_snapshot);
     nb = std::min(nb, drv_.next_wd);
     if (!all_halted && config_.max_cycles < max_tick)
         nb = std::min(nb, config_.max_cycles + 1);
+    if (cause) {
+        // Fixed attribution priority on ties -- a deterministic
+        // function of deterministic inputs, so the cause counters are
+        // byte-stable run to run.
+        if (nb == drv_.next_snapshot)
+            *cause = BoundaryCause::Snapshot;
+        else if (nb == drv_.next_wd)
+            *cause = BoundaryCause::Watchdog;
+        else if (!all_halted && config_.max_cycles < max_tick &&
+                 nb == config_.max_cycles + 1)
+            *cause = BoundaryCause::Budget;
+        else if (nb == quantum && quantum != max_tick)
+            *cause = BoundaryCause::Lookahead;
+        else
+            *cause = BoundaryCause::Idle;
+    }
     return nb;
 }
 
@@ -450,6 +659,10 @@ System::writeStatsJson(std::ostream &os) const
     os << "{\n  \"provenance\": " << provenanceJson()
        << ",\n  \"groups\": ";
     statistics::printGroupsJson(os, stats_);
+    if (telemetry_.enabled()) {
+        os << ",\n  \"host\": ";
+        telemetry_.writeHostJson(os, lookahead(), "  ");
+    }
     os << ",\n  \"snapshots\": [";
     bool first = true;
     for (const auto &snap : snapshots_) {
@@ -458,6 +671,109 @@ System::writeStatsJson(std::ostream &os) const
         first = false;
     }
     os << "\n  ]\n}\n";
+}
+
+void
+System::writeShardReport(std::ostream &os) const
+{
+    if (!telemetry_.enabled()) {
+        os << "shard report: host telemetry was off "
+              "(--shard-report / --host-telemetry enables it)\n";
+        return;
+    }
+    const ShardTelemetry &tm = telemetry_;
+    os << "=== shard report (host-waste telemetry) ===\n";
+    os << "mode: shards=" << shards_ << " lookahead=" << lookahead()
+       << " cores=" << config_.num_cores << "\n";
+    os << "wallclock sampling: "
+       << fmt((tm.slot(0).quanta
+                   ? static_cast<double>(tm.slot(0).sampled_quanta)
+                         / static_cast<double>(tm.slot(0).quanta)
+                   : 0.0) * 100.0)
+       << "% of quanta timed; ms columns are scaled estimates\n\n";
+
+    Table shard_table({"shard", "events", "quanta", "idle_q",
+                       "busy_ms", "barrier_ms", "drain_ms", "util%",
+                       "laggard_q"});
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+        const ShardTelemetry::ShardSlot &sl = tm.slot(s);
+        const std::uint64_t total =
+            sl.busy_ns + sl.barrier_ns + sl.drain_ns;
+        const double util =
+            total ? 100.0 * static_cast<double>(sl.busy_ns)
+                        / static_cast<double>(total)
+                  : 0.0;
+        // Scale the sampled sums up to whole-run estimates; ratios
+        // (util%, imbalance) are unbiased without scaling.
+        const double scale =
+            sl.sampled_quanta ? static_cast<double>(sl.quanta)
+                                    / static_cast<double>(
+                                        sl.sampled_quanta)
+                              : 0.0;
+        shard_table.addRow(
+            {"shard" + std::to_string(s), std::to_string(sl.events),
+             std::to_string(sl.quanta), std::to_string(sl.idle_quanta),
+             fmt(static_cast<double>(sl.busy_ns) * scale / 1e6),
+             fmt(static_cast<double>(sl.barrier_ns) * scale / 1e6),
+             fmt(static_cast<double>(sl.drain_ns) * scale / 1e6),
+             fmt(util), std::to_string(sl.laggard_quanta)});
+    }
+    shard_table.print(os);
+
+    os << "\nutilization: " << fmt(100.0 * tm.utilization())
+       << "% (busy / (busy + barrier + drain), all shards)\n";
+    os << "imbalance factor (max/mean busy): "
+       << fmt(tm.imbalanceFactor()) << "\n";
+    const ShardTelemetry::Coordinator &co = tm.coord();
+    const double co_scale =
+        co.sampled_steps ? static_cast<double>(co.steps)
+                               / static_cast<double>(co.sampled_steps)
+                         : 0.0;
+    os << "coordinator: steps=" << co.steps << " total_ms="
+       << fmt(static_cast<double>(co.ns) * co_scale / 1e6)
+       << " (est)\n";
+    os << "boundary causes:";
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(BoundaryCause::NumCauses); ++c) {
+        os << " " << boundaryCauseName(static_cast<BoundaryCause>(c))
+           << "=" << co.causes[c];
+    }
+    os << "\n";
+
+    // Top cross-shard traffic pairs, heaviest first; ties broken by
+    // (src, dst) so the table is deterministic.
+    struct Pair
+    {
+        std::uint32_t src, dst;
+        std::uint64_t count;
+    };
+    std::vector<Pair> pairs;
+    for (std::uint32_t src = 0; src < shards_; ++src) {
+        for (std::uint32_t dst = 0; dst < shards_; ++dst) {
+            if (const std::uint64_t n = tm.messages(src, dst))
+                pairs.push_back({src, dst, n});
+        }
+    }
+    std::sort(pairs.begin(), pairs.end(), [](const Pair &a,
+                                             const Pair &b) {
+        if (a.count != b.count)
+            return a.count > b.count;
+        if (a.src != b.src)
+            return a.src < b.src;
+        return a.dst < b.dst;
+    });
+    if (!pairs.empty()) {
+        os << "\ntop cross-shard traffic (src -> dst):\n";
+        Table traffic({"src", "dst", "msgs"});
+        const std::size_t top = std::min<std::size_t>(pairs.size(), 8);
+        for (std::size_t i = 0; i < top; ++i) {
+            traffic.addRow({"shard" + std::to_string(pairs[i].src),
+                            "shard" + std::to_string(pairs[i].dst),
+                            std::to_string(pairs[i].count)});
+        }
+        traffic.print(os);
+    }
+    os << "=== end shard report ===\n";
 }
 
 Tick

@@ -31,6 +31,7 @@
 #include "base/flat_memory.hh"
 #include "core/spec_controller.hh"
 #include "cpu/core.hh"
+#include "harness/telemetry.hh"
 #include "isa/program.hh"
 #include "mem/directory.hh"
 #include "mem/l1_cache.hh"
@@ -97,6 +98,15 @@ struct SystemConfig
     std::size_t blackbox_records = 256;
 
     /**
+     * Host-waste telemetry for the parallel driver (see
+     * harness/telemetry.hh): per-shard busy/barrier/drain accounting,
+     * cross-shard traffic counts, and host-thread tracks in the trace
+     * export.  Off (default) costs one boolean test per quantum phase;
+     * on, the driver takes a few steady_clock reads per quantum.
+     */
+    bool host_telemetry = false;
+
+    /**
      * Hang-watchdog probe interval in cycles (0 disables).  If a whole
      * interval passes in which no core retires an instruction, the run
      * aborts with a stall dossier instead of spinning to max_cycles.
@@ -140,6 +150,14 @@ struct SystemConfig
     withShards(std::uint32_t n)
     {
         shards = n;
+        return *this;
+    }
+
+    /** Convenience: enable host-waste telemetry in the driver. */
+    SystemConfig &
+    withHostTelemetry()
+    {
+        host_telemetry = true;
         return *this;
     }
 };
@@ -277,8 +295,21 @@ class System
      * Write the full stat registry -- and the periodic snapshot time
      * series, if `stats_interval` was set -- as one JSON document:
      * `{"groups": {...}, "snapshots": [{"tick": N, "groups": ...}]}`.
+     * With host telemetry enabled, a "host" section (deterministic
+     * counters strictly separated from wall-clock fields) is included.
      */
     void writeStatsJson(std::ostream &os) const;
+
+    /** The host-waste telemetry accumulators (enabled() false if off). */
+    const ShardTelemetry &telemetry() const { return telemetry_; }
+
+    /**
+     * Write the end-of-run host-waste report: per-shard utilization,
+     * the imbalance factor (max/mean busy), barrier-stall attribution
+     * by boundary cause, and the top cross-shard (src, dst) traffic
+     * pairs.  No-op (with a notice) when telemetry was off.
+     */
+    void writeShardReport(std::ostream &os) const;
 
     /**
      * Symbolized waste profile of the run (empty unless
@@ -344,9 +375,13 @@ class System
     void runShards();
     void onBarrier() noexcept;
     void coordinatorStep();
-    Tick nextBoundaryAfter(Tick b, bool idle, bool all_halted) const;
+    void coordinatorStepImpl(BoundaryCause *cause);
+    Tick nextBoundaryAfter(Tick b, bool idle, bool all_halted,
+                           BoundaryCause *cause = nullptr) const;
     void drainMail(std::uint32_t shard);
     bool allQueuesIdle() const;
+    std::uint64_t shardPops(std::uint32_t s) const;
+    void foldQuantumTelemetry(bool sampled);
 
     void takeSnapshot(Tick tick);
     void onWatchdogFire(const sim::Watchdog::Report &report);
@@ -379,6 +414,11 @@ class System
     /** Cross-shard mailboxes, indexed [src_shard * shards_ + dst]. */
     std::vector<std::vector<mem::Network::PendingMsg>> mail_;
     DriverState drv_;
+
+    ShardTelemetry telemetry_;
+    /** Trace ids of the per-shard host tracks ("host.shard<i>"). */
+    std::vector<std::uint16_t> host_comp_;
+    std::uint16_t coord_comp_ = 0; //!< "host.coord" track id
 
     bool hung_ = false;
     sim::Watchdog::Report watchdog_report_;

@@ -1,0 +1,145 @@
+#include "harness/telemetry.hh"
+
+#include <chrono>
+#include <ostream>
+#include <sstream>
+
+namespace fenceless::harness
+{
+
+const char *
+boundaryCauseName(BoundaryCause c)
+{
+    switch (c) {
+      case BoundaryCause::Lookahead: return "lookahead";
+      case BoundaryCause::Snapshot: return "snapshot";
+      case BoundaryCause::Watchdog: return "watchdog";
+      case BoundaryCause::Budget: return "budget";
+      case BoundaryCause::Idle: return "idle";
+      case BoundaryCause::NumCauses: break;
+    }
+    return "?";
+}
+
+void
+ShardTelemetry::configure(std::uint32_t shards)
+{
+    enabled_ = true;
+    shards_ = shards;
+    slots_.assign(shards, ShardSlot{});
+    msgs_.assign(static_cast<std::size_t>(shards) * shards, 0);
+    coord_ = Coordinator{};
+}
+
+std::uint64_t
+ShardTelemetry::nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+double
+ShardTelemetry::utilization() const
+{
+    std::uint64_t busy = 0, total = 0;
+    for (const ShardSlot &s : slots_) {
+        busy += s.busy_ns;
+        total += s.busy_ns + s.barrier_ns + s.drain_ns;
+    }
+    return total ? static_cast<double>(busy)
+                       / static_cast<double>(total)
+                 : 0.0;
+}
+
+double
+ShardTelemetry::imbalanceFactor() const
+{
+    std::uint64_t max = 0, sum = 0;
+    for (const ShardSlot &s : slots_) {
+        sum += s.busy_ns;
+        if (s.busy_ns > max)
+            max = s.busy_ns;
+    }
+    if (sum == 0 || slots_.empty())
+        return 0.0;
+    const double mean = static_cast<double>(sum)
+                        / static_cast<double>(slots_.size());
+    return mean > 0.0 ? static_cast<double>(max) / mean : 0.0;
+}
+
+std::string
+ShardTelemetry::deterministicJson(const std::string &indent) const
+{
+    std::ostringstream os;
+    const std::string in1 = indent + "  ";
+    const std::string in2 = in1 + "  ";
+    std::uint64_t quanta = 0;
+    for (std::uint64_t c : coord_.causes)
+        quanta += c;
+    os << "{\n" << in1 << "\"quanta\": " << quanta << ",\n";
+    os << in1 << "\"boundary_causes\": {";
+    for (std::size_t c = 0;
+         c < static_cast<std::size_t>(BoundaryCause::NumCauses); ++c) {
+        os << (c ? ", " : "") << "\""
+           << boundaryCauseName(static_cast<BoundaryCause>(c))
+           << "\": " << coord_.causes[c];
+    }
+    os << "},\n";
+    os << in1 << "\"shards\": [";
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+        os << (s ? "," : "") << "\n" << in2 << "{\"events\": "
+           << slots_[s].events << ", \"quanta\": " << slots_[s].quanta
+           << ", \"idle_quanta\": " << slots_[s].idle_quanta << "}";
+    }
+    os << "\n" << in1 << "],\n";
+    os << in1 << "\"messages\": [";
+    bool first = true;
+    for (std::uint32_t src = 0; src < shards_; ++src) {
+        for (std::uint32_t dst = 0; dst < shards_; ++dst) {
+            const std::uint64_t count = messages(src, dst);
+            if (count == 0)
+                continue;
+            os << (first ? "" : ",") << "\n" << in2 << "{\"src\": "
+               << src << ", \"dst\": " << dst << ", \"count\": "
+               << count << "}";
+            first = false;
+        }
+    }
+    os << "\n" << in1 << "]\n" << indent << "}";
+    return os.str();
+}
+
+void
+ShardTelemetry::writeHostJson(std::ostream &os, Tick lookahead,
+                              const std::string &indent) const
+{
+    const std::string in1 = indent + "  ";
+    const std::string in2 = in1 + "  ";
+    os << "{\n" << in1 << "\"shards\": " << shards_ << ",\n"
+       << in1 << "\"lookahead\": " << lookahead << ",\n"
+       << in1 << "\"deterministic\": " << deterministicJson(in1)
+       << ",\n";
+    os << in1 << "\"wallclock_ns\": {\n";
+    os << in2 << "\"sample_period\": " << sample_period << ",\n";
+    os << in2 << "\"shards\": [";
+    for (std::uint32_t s = 0; s < shards_; ++s) {
+        const ShardSlot &sl = slots_[s];
+        os << (s ? "," : "") << "\n" << in2 << "  {\"busy\": "
+           << sl.busy_ns << ", \"barrier\": " << sl.barrier_ns
+           << ", \"drain\": " << sl.drain_ns << ", \"imbalance\": "
+           << sl.imbalance_ns << ", \"laggard_quanta\": "
+           << sl.laggard_quanta << ", \"sampled_quanta\": "
+           << sl.sampled_quanta << "}";
+    }
+    os << "\n" << in2 << "],\n";
+    os << in2 << "\"coordinator\": {\"steps\": " << coord_.steps
+       << ", \"sampled_steps\": " << coord_.sampled_steps
+       << ", \"ns\": " << coord_.ns << "},\n";
+    os << in2 << "\"utilization\": " << utilization() << ",\n";
+    os << in2 << "\"imbalance_factor\": " << imbalanceFactor() << "\n";
+    os << in1 << "}\n" << indent << "}";
+}
+
+} // namespace fenceless::harness

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Host-waste telemetry for the sharded parallel driver.
+ *
+ * The paper's waste-attribution lens, pointed at the simulator itself:
+ * when one simulation is sharded across host threads (--shards=N), the
+ * quantum-barrier driver can waste host cycles exactly the way the
+ * guest machine wastes core cycles -- a laggard shard stalls everyone
+ * at the barrier, mailbox drains serialize, short lookahead quanta
+ * amortize nothing.  ShardTelemetry accounts for it per shard and per
+ * quantum: events executed, busy / barrier-wait / mailbox-drain wall
+ * time, cross-shard message counts per (src, dst) pair, idle quanta,
+ * and the coordinator's boundary-cause breakdown.
+ *
+ * Determinism discipline: the counters split into two strictly
+ * separate families.  *Deterministic* fields (event counts, quantum
+ * counts, message counts, boundary causes) are pure functions of the
+ * simulation and reproduce byte-for-byte run to run at a fixed shard
+ * count.  *Wall-clock* fields (busy/barrier/drain ns, imbalance) vary
+ * with host scheduling and are never mixed into deterministic output.
+ *
+ * Concurrency model: one ShardSlot per shard, cache-line aligned,
+ * written only by its shard's host thread during a quantum; the
+ * coordinator folds the per-quantum scratch fields in the barrier
+ * completion step, while every shard thread is parked.  The message
+ * grid is single-writer per cell (the sending shard's thread).  No
+ * atomics anywhere; the barrier provides all ordering.  Disabled
+ * telemetry costs one boolean test per quantum phase.
+ *
+ * Cost discipline: quanta are short (one cross-shard hop), so even a
+ * steady_clock read per phase would not amortize -- the exact failure
+ * mode this layer exists to expose.  The wall-clock phases are
+ * therefore *sampled*: every sample_period-th quantum is timed (all
+ * shards agree on which, since the decision is a pure function of the
+ * coordinator step count), and the sums scale up at render time.
+ * Ratios (utilization, imbalance factor) need no scaling at all.
+ * With host tracing on, every quantum is timed -- the trace wants the
+ * per-quantum slices, and an explicit diagnostic run has opted out of
+ * the cheap mode.  Deterministic counters are exact every quantum
+ * regardless.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace fenceless::harness
+{
+
+/** Which coordinator deadline chose a quantum boundary. */
+enum class BoundaryCause : std::uint32_t
+{
+    Lookahead = 0, //!< conservative quantum: now + lookahead
+    Snapshot,      //!< periodic stat-snapshot deadline
+    Watchdog,      //!< hang-watchdog probe deadline
+    Budget,        //!< max_cycles budget edge
+    Idle,          //!< nothing pending: jump to the end of time
+    NumCauses,
+};
+
+const char *boundaryCauseName(BoundaryCause c);
+
+class ShardTelemetry
+{
+  public:
+    /**
+     * One shard's accounting.  Written by the shard's thread (totals
+     * and scratch) and folded by the coordinator (events/quanta and
+     * the cross-shard imbalance view) -- never concurrently, thanks to
+     * the quantum barrier.
+     */
+    struct alignas(64) ShardSlot
+    {
+        // --- deterministic ---------------------------------------------
+        std::uint64_t events = 0;      //!< events executed on this shard
+        std::uint64_t quanta = 0;      //!< quanta participated in
+        std::uint64_t idle_quanta = 0; //!< quanta with zero events
+
+        // --- wall clock (sums over *sampled* quanta only) --------------
+        std::uint64_t busy_ns = 0;    //!< inside eventq.run()
+        std::uint64_t barrier_ns = 0; //!< parked at quantum barriers
+        std::uint64_t drain_ns = 0;   //!< draining inbound mailboxes
+        /** Sum over sampled quanta of (slowest shard's busy - own busy). */
+        std::uint64_t imbalance_ns = 0;
+        /** Sampled quanta in which this shard was the slowest. */
+        std::uint64_t laggard_quanta = 0;
+        std::uint64_t sampled_quanta = 0; //!< quanta with timing taken
+
+        // --- per-quantum scratch (shard writes, coordinator folds) -----
+        std::uint64_t q_busy_ns = 0;
+        std::uint64_t last_pops = 0; //!< eventq pops at last boundary
+    };
+
+    /** The coordinator's own accounting (single-threaded by design). */
+    struct Coordinator
+    {
+        std::uint64_t steps = 0;         //!< coordinatorStep() invocations
+        std::uint64_t sampled_steps = 0; //!< steps with timing taken
+        std::uint64_t ns = 0; //!< wall time inside sampled steps
+        std::uint64_t causes[static_cast<std::size_t>(
+            BoundaryCause::NumCauses)] = {};
+    };
+
+    /**
+     * 1-in-N quantum sampling for the wall-clock phases.  The decision
+     * is a pure function of the coordinator step count, so every shard
+     * thread and the coordinator agree on which quanta are timed
+     * without any extra synchronization.
+     */
+    static constexpr std::uint64_t sample_period = 8;
+
+    static bool
+    sampleQuantum(std::uint64_t step)
+    {
+        return (step & (sample_period - 1)) == 0;
+    }
+
+    /** Size for @p shards and enable; idempotent per System. */
+    void configure(std::uint32_t shards);
+
+    bool enabled() const { return enabled_; }
+    std::uint32_t shards() const { return shards_; }
+
+    ShardSlot &slot(std::uint32_t s) { return slots_[s]; }
+    const ShardSlot &slot(std::uint32_t s) const { return slots_[s]; }
+
+    Coordinator &coord() { return coord_; }
+    const Coordinator &coord() const { return coord_; }
+
+    /** Count one cross-shard message (called on the sending thread). */
+    void
+    countMessage(std::uint32_t src, std::uint32_t dst)
+    {
+        ++msgs_[static_cast<std::size_t>(src) * shards_ + dst];
+    }
+
+    std::uint64_t
+    messages(std::uint32_t src, std::uint32_t dst) const
+    {
+        return msgs_[static_cast<std::size_t>(src) * shards_ + dst];
+    }
+
+    // --- derived views ---------------------------------------------------
+
+    /** Total busy / total (busy + barrier + drain); 0 when unmeasured. */
+    double utilization() const;
+
+    /** Max shard busy / mean shard busy; 0 when unmeasured. */
+    double imbalanceFactor() const;
+
+    /**
+     * The deterministic counters as one JSON object (quanta, boundary
+     * causes, per-shard event counts, (src, dst) message counts).
+     * Byte-identical run to run at a fixed shard count -- what the
+     * determinism tests compare.  @p indent prefixes nested lines.
+     */
+    std::string deterministicJson(const std::string &indent = "  ") const;
+
+    /**
+     * The full "host" stats-json section: shard count, lookahead, the
+     * deterministic object, and a separate "wallclock_ns" object.
+     */
+    void writeHostJson(std::ostream &os, Tick lookahead,
+                       const std::string &indent = "  ") const;
+
+    /** Monotonic host time in ns (steady_clock). */
+    static std::uint64_t nowNs();
+
+  private:
+    bool enabled_ = false;
+    std::uint32_t shards_ = 0;
+    std::vector<ShardSlot> slots_;
+    /** Cross-shard message counts, indexed [src * shards_ + dst]. */
+    std::vector<std::uint64_t> msgs_;
+    Coordinator coord_;
+};
+
+} // namespace fenceless::harness

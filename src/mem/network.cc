@@ -234,6 +234,7 @@ Network::rxSample(Node &n, double v)
     const double delta = v - n.rx_mean;
     n.rx_mean += delta / static_cast<double>(n.rx_count);
     n.rx_m2 += delta * (v - n.rx_mean);
+    n.rx_sketch.add(v);
 }
 
 void
@@ -294,7 +295,8 @@ Network::finalizeStats()
     for (Node &n : nodes_) {
         if (n.rx_count) {
             stat_msg_latency_.merge(n.rx_count, n.rx_sum, n.rx_mean,
-                                    n.rx_m2, n.rx_min, n.rx_max);
+                                    n.rx_m2, n.rx_min, n.rx_max,
+                                    &n.rx_sketch);
         }
     }
 }

@@ -214,6 +214,7 @@ class Network : public sim::SimObject
         double rx_m2 = 0.0;
         double rx_min = 0.0;
         double rx_max = 0.0;
+        statistics::PercentileSketch rx_sketch;
     };
 
     /**

@@ -45,16 +45,20 @@ namespace fenceless::trace
 {
 
 /**
- * Default ring mask: everything except per-instruction commit counters.
- * CoreCommit fires once per retired instruction -- recording it would
- * put a ring store on the single hottest path in the simulator; the
- * stall/spec/request/network kinds that matter for incident forensics
- * fire orders of magnitude less often, which is how the always-on
- * recorder stays within its <=3% full-system budget.
+ * Default ring mask: everything except per-instruction commit counters
+ * and host-side telemetry.  CoreCommit fires once per retired
+ * instruction -- recording it would put a ring store on the single
+ * hottest path in the simulator; the stall/spec/request/network kinds
+ * that matter for incident forensics fire orders of magnitude less
+ * often, which is how the always-on recorder stays within its <=3%
+ * full-system budget.  Host records carry wall-clock payloads that
+ * vary run to run, so keeping them out preserves the blackbox dump's
+ * byte-identity across shard counts even with telemetry enabled.
  */
 inline constexpr std::uint32_t default_blackbox_flags =
     static_cast<std::uint32_t>(Flag::All) &
-    ~static_cast<std::uint32_t>(Flag::Core);
+    ~static_cast<std::uint32_t>(Flag::Core) &
+    ~static_cast<std::uint32_t>(Flag::Host);
 
 /**
  * The flight-recorder contents as one canonically ordered stream (see

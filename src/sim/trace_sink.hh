@@ -65,6 +65,13 @@ enum class EventKind : std::uint16_t
     // Network (Flag::Net)
     NetHop,       //!< instant on the network track: a0 = req id,
                   //!< a1 = latency, aux = msg type
+    // Host shard telemetry (Flag::Host): wall-clock phases of the
+    // parallel driver, drawn on per-shard host tracks alongside the
+    // guest timeline (ticks are the shared x-axis).
+    HostPhase,    //!< duration: tick = quantum start, a0 = quantum end,
+                  //!< a1 = phase ns, aux = HostPhaseKind
+    HostCoord,    //!< instant: coordinator step at a quantum boundary;
+                  //!< a1 = step ns, aux = boundary cause id
     NumKinds,
 };
 
@@ -90,6 +97,8 @@ eventKindFlag(EventKind k)
       case EventKind::ReqDirDone:
       case EventKind::ReqFill: return Flag::Req;
       case EventKind::NetHop: return Flag::Net;
+      case EventKind::HostPhase:
+      case EventKind::HostCoord: return Flag::Host;
       case EventKind::NumKinds: break;
     }
     return Flag::All;

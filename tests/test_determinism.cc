@@ -19,7 +19,10 @@
  *    a host-parallel sweep;
  *  - cross-shard mailbox drains deliver in the canonical
  *    (arrival, src, chan_seq) order no matter how the mailboxes were
- *    permuted.
+ *    permuted;
+ *  - host-waste telemetry (SystemConfig::host_telemetry) keeps its
+ *    deterministic counters byte-identical run to run at a fixed shard
+ *    count, and changes no guest-visible stat when enabled.
  */
 
 #include <gtest/gtest.h>
@@ -485,5 +488,127 @@ TEST(Determinism, CrossShardDrainOrderCanonical)
         } else {
             EXPECT_EQ(sink.seen, reference) << "round " << round;
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// host-waste telemetry: deterministic fields reproduce; guest output
+// is untouched
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Everything a telemetered sharded run exposes. */
+struct TelemetryRun
+{
+    bool completed = false;
+    std::string stats; //!< writeStatsJson (sim_mode stripped)
+    std::string det;   //!< ShardTelemetry::deterministicJson
+    std::uint64_t events = 0; //!< summed over shards
+    std::uint64_t steps = 0;  //!< coordinator invocations
+};
+
+TelemetryRun
+runTelemetered(std::uint32_t shards)
+{
+    harness::SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.model = cpu::ConsistencyModel::TSO;
+    cfg.withShards(shards).withHostTelemetry();
+    workload::SpinlockCrit wl;
+    isa::Program prog = wl.build(cfg.num_cores);
+    harness::System sys(cfg, prog);
+    TelemetryRun r;
+    r.completed = sys.run();
+    std::ostringstream os;
+    sys.writeStatsJson(os);
+    r.stats = stripSimMode(os.str());
+    // The indent matches what writeStatsJson's host stanza uses, so
+    // the verbatim-embedding assertion below can compare bytes.
+    r.det = sys.telemetry().deterministicJson("    ");
+    for (std::uint32_t s = 0; s < sys.telemetry().shards(); ++s)
+        r.events += sys.telemetry().slot(s).events;
+    r.steps = sys.telemetry().coord().steps;
+    return r;
+}
+
+/**
+ * Erase the stats-json "host" stanza: its wallclock_ns half varies
+ * with host scheduling by design, so comparisons against an
+ * untelemetered document must drop the stanza wholesale.
+ */
+std::string
+stripHostSection(std::string s)
+{
+    const std::string key = ",\n  \"host\": ";
+    const auto pos = s.find(key);
+    if (pos == std::string::npos)
+        return s;
+    const auto end = s.find(",\n  \"snapshots\"", pos);
+    EXPECT_NE(end, std::string::npos);
+    if (end == std::string::npos)
+        return s;
+    s.erase(pos, end - pos);
+    return s;
+}
+
+} // namespace
+
+TEST(Determinism, TelemetryDeterministicFieldsStableRunToRun)
+{
+    const TelemetryRun a = runTelemetered(4);
+    const TelemetryRun b = runTelemetered(4);
+    ASSERT_TRUE(a.completed);
+    ASSERT_TRUE(b.completed);
+    EXPECT_GT(a.events, 0u);
+    EXPECT_GT(a.steps, 0u);
+    // The deterministic half (events, quanta, messages, boundary
+    // causes) is a pure function of the simulation: byte for byte.
+    EXPECT_EQ(a.det, b.det);
+    // And it is embedded verbatim in the stats document, next to (but
+    // never mixed with) the wall-clock half.
+    EXPECT_NE(a.stats.find("\"deterministic\""), std::string::npos);
+    EXPECT_NE(a.stats.find("\"wallclock_ns\""), std::string::npos);
+    EXPECT_NE(a.stats.find(a.det), std::string::npos);
+}
+
+TEST(Determinism, TelemetryLeavesGuestStatsUntouched)
+{
+    // Telemetry on vs off at the same shard count: stripping the
+    // "host" stanza must recover the untelemetered document exactly --
+    // the probes change no guest-visible stat, and the telemetry-off
+    // document itself has no host stanza at all.
+    harness::SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.model = cpu::ConsistencyModel::TSO;
+    cfg.withShards(4);
+    const std::string off = runAndRenderStats(cfg);
+    EXPECT_EQ(off.find(",\n  \"host\": "), std::string::npos);
+
+    harness::SystemConfig on_cfg = cfg;
+    on_cfg.withHostTelemetry();
+    const std::string on = runAndRenderStats(on_cfg);
+    EXPECT_NE(on.find(",\n  \"host\": "), std::string::npos);
+    EXPECT_EQ(stripHostSection(on), off);
+}
+
+TEST(Determinism, TelemetryOffStatsIdenticalAcrossShardCounts)
+{
+    // Belt and braces over ShardedRunByteIdenticalToReference: the
+    // plain stats document (no profiling) with the percentile fields
+    // in every distribution must not depend on the shard count --
+    // PercentileSketch::merge has to be order-independent for that.
+    harness::SystemConfig cfg;
+    cfg.num_cores = 8;
+    cfg.model = cpu::ConsistencyModel::TSO;
+    cfg.withShards(1);
+    const std::string ref = stripSimMode(runAndRenderStats(cfg));
+    EXPECT_NE(ref.find("\"p95\""), std::string::npos);
+    for (std::uint32_t shards : {2u, 4u}) {
+        harness::SystemConfig c = cfg;
+        c.withShards(shards);
+        EXPECT_EQ(stripSimMode(runAndRenderStats(c)), ref)
+            << shards << " shards";
     }
 }

@@ -244,3 +244,71 @@ TEST(SystemQueries, TimeoutReported)
     harness::System sys(cfg, prog);
     EXPECT_FALSE(sys.run());
 }
+
+TEST(Options, ShardReportAndHostTelemetry)
+{
+    // Off by default: the telemetry probes must stay out of runs that
+    // never asked for them.
+    SystemConfig cfg = parse({}).applyTo(SystemConfig{});
+    EXPECT_FALSE(cfg.host_telemetry);
+
+    // --shard-report implies the telemetry that feeds it.
+    cfg = parse({"--cores=8", "--shards=4", "--shard-report"})
+              .applyTo(SystemConfig{});
+    EXPECT_TRUE(cfg.host_telemetry);
+    EXPECT_TRUE(parse({"--shard-report"}).shardReport());
+
+    // --host-telemetry without a report: stats-json / trace only.
+    cfg = parse({"--host-telemetry"}).applyTo(SystemConfig{});
+    EXPECT_TRUE(cfg.host_telemetry);
+    EXPECT_FALSE(parse({"--host-telemetry"}).shardReport());
+
+    // Explicitly disabled.
+    cfg = parse({"--host-telemetry=0"}).applyTo(SystemConfig{});
+    EXPECT_FALSE(cfg.host_telemetry);
+}
+
+TEST(SystemQueries, ShardReportRendersInlineDriver)
+{
+    // shards=1 runs the quantum driver inline (no threads, no
+    // barriers); the report must still render real quantum counts so
+    // single-shard baselines are comparable against sharded runs.
+    isa::Assembler as;
+    as.nop();
+    as.halt();
+    isa::Program prog = as.finish();
+
+    harness::SystemConfig cfg = testConfig(2);
+    cfg.withHostTelemetry();
+    harness::System sys(cfg, prog);
+    ASSERT_TRUE(sys.run());
+    ASSERT_TRUE(sys.telemetry().enabled());
+    EXPECT_EQ(sys.telemetry().shards(), 1u);
+    EXPECT_GT(sys.telemetry().slot(0).events, 0u);
+
+    std::ostringstream os;
+    sys.writeShardReport(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("shard report"), std::string::npos);
+    EXPECT_NE(out.find("utilization"), std::string::npos);
+    EXPECT_NE(out.find("boundary causes"), std::string::npos);
+    // One row for the only shard, with a non-zero event count.
+    EXPECT_NE(out.find("shard0"), std::string::npos) << out;
+    EXPECT_NE(
+        out.find(std::to_string(sys.telemetry().slot(0).events)),
+        std::string::npos)
+        << out;
+}
+
+TEST(SystemQueries, ShardReportWithoutTelemetryPrintsNotice)
+{
+    isa::Assembler as;
+    as.halt();
+    isa::Program prog = as.finish();
+
+    harness::System sys(testConfig(1), prog);
+    ASSERT_TRUE(sys.run());
+    std::ostringstream os;
+    sys.writeShardReport(os);
+    EXPECT_NE(os.str().find("telemetry"), std::string::npos);
+}

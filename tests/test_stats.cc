@@ -250,8 +250,105 @@ TEST(StatsJson, EveryKindRendersItsFullState)
     EXPECT_NE(json.find("\"kind\": \"formula\""), std::string::npos);
     EXPECT_NE(json.find("\"mean\""), std::string::npos);
     EXPECT_NE(json.find("\"stdev\""), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
     EXPECT_NE(json.find("\"underflow\""), std::string::npos);
     EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+}
+
+TEST(PercentileSketch, ExactForSmallValues)
+{
+    // Values below 2^(sub_bits + 1) get one bucket each, so small
+    // integer latencies (the common cache-hit case) report exactly.
+    PercentileSketch s;
+    for (int v = 1; v <= 7; ++v)
+        s.add(v);
+    EXPECT_EQ(s.samples(), 7u);
+    // Nearest-rank: k = ceil(q * 7).
+    EXPECT_DOUBLE_EQ(s.quantile(0.50), 4.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.quantile(1.0), 7.0);
+    EXPECT_DOUBLE_EQ(s.quantile(0.99), 7.0);
+}
+
+TEST(PercentileSketch, EmptyAndNonPositiveSamples)
+{
+    PercentileSketch s;
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+    s.add(-3.0);
+    s.add(0.0);
+    EXPECT_EQ(s.samples(), 2u);
+    EXPECT_DOUBLE_EQ(s.quantile(0.99), 0.0);
+}
+
+TEST(PercentileSketch, BoundedRelativeError)
+{
+    // 8 sub-buckets per octave bound the half-width error at ~6.25%
+    // of the value; allow 10% for the rank landing inside a bucket.
+    PercentileSketch s;
+    for (int v = 1; v <= 10000; ++v)
+        s.add(v);
+    for (double q : {0.50, 0.90, 0.95, 0.99}) {
+        const double exact = std::ceil(q * 10000.0);
+        EXPECT_NEAR(s.quantile(q), exact, 0.10 * exact) << "q=" << q;
+    }
+}
+
+TEST(PercentileSketch, WeightedAddMatchesRepeated)
+{
+    PercentileSketch a, b;
+    a.add(100.0, 5);
+    a.add(2000.0, 1);
+    for (int i = 0; i < 5; ++i)
+        b.add(100.0);
+    b.add(2000.0);
+    EXPECT_EQ(a.samples(), b.samples());
+    for (double q : {0.1, 0.5, 0.9, 1.0})
+        EXPECT_DOUBLE_EQ(a.quantile(q), b.quantile(q)) << "q=" << q;
+}
+
+TEST(PercentileSketch, MergeIsOrderIndependent)
+{
+    // Elementwise bucket addition makes shard order (and sharding
+    // itself) invisible: whole = evens + odds = odds + evens.
+    PercentileSketch whole, evens, odds, ab, ba;
+    for (int v = 1; v <= 1000; ++v) {
+        whole.add(v);
+        (v % 2 == 0 ? evens : odds).add(v);
+    }
+    ab.merge(evens);
+    ab.merge(odds);
+    ba.merge(odds);
+    ba.merge(evens);
+    EXPECT_EQ(ab.samples(), whole.samples());
+    for (double q : {0.25, 0.5, 0.75, 0.95, 0.99}) {
+        EXPECT_DOUBLE_EQ(ab.quantile(q), whole.quantile(q))
+            << "q=" << q;
+        EXPECT_DOUBLE_EQ(ba.quantile(q), whole.quantile(q))
+            << "q=" << q;
+    }
+}
+
+TEST(PercentileSketch, ResetClears)
+{
+    PercentileSketch s;
+    s.add(42.0, 3);
+    s.reset();
+    EXPECT_EQ(s.samples(), 0u);
+    EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(Distribution, PercentilesTrackSamples)
+{
+    Distribution d("d", "latencies");
+    for (int v = 1; v <= 100; ++v)
+        d.sample(v);
+    EXPECT_NEAR(d.percentile(0.50), 50.0, 5.0);
+    EXPECT_NEAR(d.percentile(0.95), 95.0, 10.0);
+    EXPECT_NEAR(d.percentile(0.99), 99.0, 10.0);
+    d.reset();
+    EXPECT_EQ(d.percentile(0.50), 0.0);
 }
 
 TEST(StatsJson, QuoteEscapesSpecials)
