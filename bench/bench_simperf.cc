@@ -332,6 +332,43 @@ BENCHMARK(BM_FullSystemParallelTelemetry)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * The largest configuration the simulator supports: 64 cores on a 2D
+ * mesh with an 8-bank directory (a 9x8 grid of network nodes).  Tracks
+ * the host-side cost of per-hop routing and bank fan-out at full
+ * scale; the regression guard keeps this from silently decaying as the
+ * topology layer grows.
+ */
+void
+BM_FullSystemMesh64(benchmark::State &state)
+{
+    std::uint64_t sim_insts = 0;
+    std::uint64_t net_hops = 0;
+    for (auto _ : state) {
+        harness::SystemConfig cfg;
+        cfg.num_cores = 64;
+        cfg.model = cpu::ConsistencyModel::TSO;
+        cfg.withDirBanks(8).withTopology(mem::Topology::Mesh);
+        cfg.blackbox_records = 0; // measure the bare simulation
+        cfg.watchdog_interval = 0;
+        workload::LocalLockStream::Params wp;
+        wp.iters = 8;
+        workload::LocalLockStream wl(wp);
+        isa::Program prog = wl.build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        const bool done = sys.run();
+        benchmark::DoNotOptimize(done);
+        sim_insts += sys.totalInstructions();
+        for (const auto &group : sys.stats().groups()) {
+            if (group->name() == "network")
+                net_hops = group->scalarCount("hops");
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
+    state.counters["net_hops"] = static_cast<double>(net_hops);
+}
+BENCHMARK(BM_FullSystemMesh64)->Unit(benchmark::kMillisecond);
+
 void
 BM_ParallelSweep(benchmark::State &state)
 {

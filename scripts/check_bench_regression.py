@@ -54,7 +54,8 @@ import sys
 GUARDED_PREFIXES = ("BM_EventQueue", "BM_FullSystem/",
                     "BM_FullSystemProfiled", "BM_FullSystemBlackbox",
                     "BM_FullSystemParallel/",
-                    "BM_FullSystemParallelTelemetry/")
+                    "BM_FullSystemParallelTelemetry/",
+                    "BM_FullSystemMesh64")
 
 # (benchmark, reference, max fractional slowdown vs reference) --
 # checked within the fresh file only.

@@ -6,6 +6,7 @@
 #include <iostream>
 #include <thread>
 
+#include "base/bitfield.hh"
 #include "base/logging.hh"
 #include "base/trace.hh"
 
@@ -17,7 +18,8 @@ namespace
 
 const char *known_options[] = {
     "cores", "model", "spec", "granularity", "overflow", "sb-size",
-    "l1-kb", "l2-kb", "dram-latency", "net-latency", "scale", "seed",
+    "l1-kb", "l2-kb", "dram-latency", "net-latency", "topology",
+    "hop-latency", "dir-banks", "scale", "seed",
     "jobs", "csv", "trace", "trace-out", "stats-json", "stats-interval",
     "profile-out", "waste-report", "blackbox-out", "blackbox",
     "watchdog-interval", "watchdog-storm", "parallel-sim", "shards",
@@ -159,6 +161,41 @@ Options::applyTo(SystemConfig base) const
         base.l2.dram_latency = getInt("dram-latency", 0);
     if (has("net-latency"))
         base.net.latency = getInt("net-latency", 0);
+    if (has("topology")) {
+        // Unknown topology is fatal, like --model: silently simulating
+        // a different interconnect would invalidate the whole run.
+        mem::Topology t;
+        if (!mem::parseTopology(get("topology"), t))
+            fatal("unknown topology '", get("topology"),
+                  "' (crossbar|ring|mesh)");
+        base.net.topology = t;
+    }
+    if (has("hop-latency"))
+        base.net.hop_latency = getInt("hop-latency", 0);
+    if (has("dir-banks")) {
+        // Non-fatal like --shards: any bank count is functionally
+        // identical, so round a bad value down instead of dying.
+        std::uint64_t banks = getInt("dir-banks", 1);
+        if (banks < 1) {
+            std::cerr << "warning: --dir-banks must be >= 1; using 1\n";
+            banks = 1;
+        }
+        if (banks > 64) {
+            std::cerr << "warning: --dir-banks=" << banks
+                      << " exceeds 64; clamping\n";
+            banks = 64;
+        }
+        if (!isPowerOf2(banks)) {
+            std::uint64_t down = 1;
+            while (down * 2 <= banks)
+                down *= 2;
+            std::cerr << "warning: --dir-banks=" << banks
+                      << " is not a power of two; using " << down
+                      << "\n";
+            banks = down;
+        }
+        base.dir_banks = static_cast<std::uint32_t>(banks);
+    }
     if (has("trace")) {
         std::uint32_t mask = 0;
         std::string error;
@@ -248,7 +285,7 @@ Options::printUsage(const std::string &prog)
 {
     std::cout
         << "usage: " << prog << " [options]\n"
-        << "  --cores=N             number of cores\n"
+        << "  --cores=N             number of cores (up to 64)\n"
         << "  --model=sc|tso|rmo    consistency model\n"
         << "  --spec=off|on-demand|continuous\n"
         << "  --granularity=block|per-store\n"
@@ -257,7 +294,13 @@ Options::printUsage(const std::string &prog)
         << "  --l1-kb=N             L1 size (KiB)\n"
         << "  --l2-kb=N             L2 size (KiB)\n"
         << "  --dram-latency=N      DRAM latency (cycles)\n"
-        << "  --net-latency=N       interconnect hop latency (cycles)\n"
+        << "  --net-latency=N       crossbar flat latency (cycles)\n"
+        << "  --topology=T          interconnect: crossbar|ring|mesh\n"
+        << "  --hop-latency=N       per-hop latency for ring/mesh\n"
+           "                        (cycles, default 3)\n"
+        << "  --dir-banks=N         directory banks (power of two,\n"
+           "                        1..64; banks interleave by block\n"
+           "                        and distribute across shards)\n"
         << "  --scale=N             workload scaling factor\n"
         << "  --seed=N              workload seed\n"
         << "  --jobs=N              host threads for independent runs\n"

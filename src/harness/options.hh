@@ -18,7 +18,14 @@
  *     --l1-kb=N            L1 size in KiB
  *     --l2-kb=N            L2 size in KiB
  *     --dram-latency=N     cycles
- *     --net-latency=N      cycles
+ *     --net-latency=N      crossbar flat latency in cycles
+ *     --topology=T         interconnect topology: crossbar|ring|mesh
+ *                          (unknown values are fatal, like --model)
+ *     --hop-latency=N      per-hop latency for ring/mesh (cycles)
+ *     --dir-banks=N        directory banks (power of two, 1..64;
+ *                          bad values warn and round down, never
+ *                          abort -- every bank count is functionally
+ *                          equivalent)
  *     --scale=N            workload scaling factor
  *     --seed=N             workload seed where applicable
  *     --jobs=N             host threads for independent runs

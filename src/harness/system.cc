@@ -17,6 +17,30 @@
 namespace fenceless::harness
 {
 
+namespace
+{
+
+/**
+ * Stat-group / trace-component name of directory bank @p b.  The
+ * single-bank system keeps the historical "l2dir" name so every stats,
+ * trace and blackbox document stays byte-identical to pre-banking runs.
+ */
+std::string
+dirBankName(std::uint32_t banks, std::uint32_t b)
+{
+    return banks == 1 ? std::string("l2dir")
+                      : "l2dir.bank" + std::to_string(b);
+}
+
+/** WaitNode id for directory-side nodes: 0 = legacy, else bank + 1. */
+std::uint32_t
+dirWaitId(std::uint32_t banks, std::uint32_t b)
+{
+    return banks == 1 ? 0 : b + 1;
+}
+
+} // namespace
+
 sim::SimContext &
 System::makeShardContexts()
 {
@@ -33,11 +57,32 @@ System::makeShardContexts()
 std::uint32_t
 System::shardOfCore(std::uint32_t core) const
 {
-    // Contiguous balanced partition over shards 1..N-1 (shard 0 is the
-    // directory side); the single-shard reference keeps everything on 0.
     if (shards_ == 1)
         return 0;
+    // Banked: cores spread contiguously over ALL shards -- the banks
+    // interleave over the same shards, so no shard is a dedicated hub.
+    if (config_.dir_banks >= 2)
+        return core * shards_ / config_.num_cores;
+    // Monolithic: contiguous balanced partition over shards 1..N-1
+    // (shard 0 is the directory side).
     return 1 + core * (shards_ - 1) / config_.num_cores;
+}
+
+std::uint32_t
+System::shardOfBank(std::uint32_t bank) const
+{
+    // Round-robin bank homes; the monolithic directory stays on the
+    // dedicated shard 0.
+    if (shards_ == 1 || config_.dir_banks == 1)
+        return 0;
+    return bank % shards_;
+}
+
+std::uint32_t
+System::bankOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>(addr / config_.l2.block_size)
+           & (config_.dir_banks - 1);
 }
 
 std::uint32_t
@@ -54,9 +99,10 @@ System::lookahead() const
 {
     // The minimum cross-shard delay: every shard interaction crosses
     // the network, and a message sent at t arrives no earlier than
-    // t + latency + 1 (serialization is at least one cycle, since
-    // every message carries at least an 8-byte header).
-    return static_cast<Tick>(config_.net.latency) + 1;
+    // t + (route latency) + 1 (serialization is at least one cycle,
+    // since every message carries at least an 8-byte header).  For
+    // ring/mesh the minimum route is a single hop.
+    return config_.net.minDelay();
 }
 
 std::vector<prof::CodeSym>
@@ -101,6 +147,12 @@ System::System(const SystemConfig &config, const isa::Program &prog)
              "at most ", mem::max_cores, " cores supported");
     flAssert(config_.l1.block_size == config_.l2.block_size,
              "L1 and L2 block sizes must match");
+    flAssert(isPowerOf2(config_.dir_banks) && config_.dir_banks <= 64,
+             "dir_banks must be a power of two in [1, 64] (got ",
+             config_.dir_banks, ")");
+    flAssert(config_.l2.size % config_.dir_banks == 0,
+             "L2 size must divide evenly across ", config_.dir_banks,
+             " directory banks");
 
     shard_halted_.resize(shards_);
     mail_.resize(static_cast<std::size_t>(shards_) * shards_);
@@ -115,15 +167,17 @@ System::System(const SystemConfig &config, const isa::Program &prog)
     // across sinks and the per-shard record streams merge canonically
     // at dump time (see sim/blackbox.hh).
     {
-        const mem::NodeId dir_node = config_.num_cores;
         std::vector<std::string> comp_names;
         comp_names.emplace_back("network");
         for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
             comp_names.push_back("l1_" + std::to_string(i));
             comp_names.push_back("net.rx" + std::to_string(i));
         }
-        comp_names.emplace_back("l2dir");
-        comp_names.push_back("net.rx" + std::to_string(dir_node));
+        for (std::uint32_t b = 0; b < config_.dir_banks; ++b) {
+            comp_names.push_back(dirBankName(config_.dir_banks, b));
+            comp_names.push_back(
+                "net.rx" + std::to_string(config_.num_cores + b));
+        }
         for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
             comp_names.push_back("core_" + std::to_string(i));
             comp_names.push_back("core_" + std::to_string(i) + ".sb");
@@ -188,12 +242,17 @@ System::System(const SystemConfig &config, const isa::Program &prog)
 
     isa::loadImage(prog_, backing_);
 
-    const mem::NodeId dir_node = config_.num_cores;
+    // The topology layer needs the endpoint count for routing; the
+    // crossbar ignores it but gets the true value anyway.
+    config_.net.num_nodes = config_.num_cores + config_.dir_banks;
     network_ = std::make_unique<mem::Network>(ctx_, "network",
                                               config_.net);
     for (std::uint32_t i = 0; i < config_.num_cores; ++i)
         network_->bindNode(i, *shard_ctx_[shardOfCore(i)], shardOfCore(i));
-    network_->bindNode(dir_node, ctx_, 0);
+    for (std::uint32_t b = 0; b < config_.dir_banks; ++b) {
+        network_->bindNode(config_.num_cores + b,
+                           *shard_ctx_[shardOfBank(b)], shardOfBank(b));
+    }
     network_->setCrossShardPush(
         [this](std::uint32_t src, std::uint32_t dst,
                mem::Network::PendingMsg &&pm) {
@@ -204,14 +263,23 @@ System::System(const SystemConfig &config, const isa::Program &prog)
             mail_[src * shards_ + dst].push_back(std::move(pm));
         });
 
+    const mem::DirectoryMap dirmap(config_.num_cores, config_.dir_banks,
+                                   floorLog2(config_.l2.block_size));
     for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
         l1s_.push_back(std::make_unique<mem::L1Cache>(
             *shard_ctx_[shardOfCore(i)], "l1_" + std::to_string(i),
-            config_.l1, i, dir_node, *network_));
+            config_.l1, i, dirmap, *network_));
     }
-    dir_ = std::make_unique<mem::Directory>(ctx_, "l2dir", config_.l2,
-                                            dir_node, config_.num_cores,
-                                            *network_, backing_);
+    for (std::uint32_t b = 0; b < config_.dir_banks; ++b) {
+        mem::Directory::Params bank_params = config_.l2;
+        bank_params.size = config_.l2.size / config_.dir_banks;
+        bank_params.banks = config_.dir_banks;
+        bank_params.bank = b;
+        dirs_.push_back(std::make_unique<mem::Directory>(
+            *shard_ctx_[shardOfBank(b)], dirBankName(config_.dir_banks, b),
+            bank_params, config_.num_cores + b, config_.num_cores,
+            *network_, backing_));
+    }
 
     cpu::Core::Params core_params;
     core_params.model = config_.model;
@@ -646,7 +714,9 @@ System::provenanceJson() const
     std::ostringstream extra;
     extra << ", \"sim_mode\": {\"parallel_sim\": "
           << (shards_ >= 2 ? 1 : 0) << ", \"shards\": " << shards_
-          << "}";
+          << ", \"dir_banks\": " << config_.dir_banks
+          << ", \"topology\": \""
+          << mem::topologyName(config_.net.topology) << "\"}";
     const auto pos = p.rfind('}');
     if (pos != std::string::npos)
         p.insert(pos, extra.str());
@@ -684,7 +754,9 @@ System::writeShardReport(std::ostream &os) const
     const ShardTelemetry &tm = telemetry_;
     os << "=== shard report (host-waste telemetry) ===\n";
     os << "mode: shards=" << shards_ << " lookahead=" << lookahead()
-       << " cores=" << config_.num_cores << "\n";
+       << " cores=" << config_.num_cores << " dir_banks="
+       << config_.dir_banks << " topology="
+       << mem::topologyName(config_.net.topology) << "\n";
     os << "wallclock sampling: "
        << fmt((tm.slot(0).quanta
                    ? static_cast<double>(tm.slot(0).sampled_quanta)
@@ -724,6 +796,25 @@ System::writeShardReport(std::ostream &os) const
        << "% (busy / (busy + barrier + drain), all shards)\n";
     os << "imbalance factor (max/mean busy): "
        << fmt(tm.imbalanceFactor()) << "\n";
+    {
+        // Hub diagnosis: with a monolithic directory every miss funnels
+        // into shard 0; distributed banks should pull this toward the
+        // uniform share (1/shards).
+        std::uint64_t cross_total = 0, inbound0 = 0;
+        for (std::uint32_t src = 0; src < shards_; ++src) {
+            for (std::uint32_t dst = 0; dst < shards_; ++dst) {
+                const std::uint64_t n = tm.messages(src, dst);
+                cross_total += n;
+                if (dst == 0)
+                    inbound0 += n;
+            }
+        }
+        os << "coordinator-inbound share: "
+           << fmt(cross_total ? 100.0 * static_cast<double>(inbound0)
+                                    / static_cast<double>(cross_total)
+                              : 0.0)
+           << "% of cross-shard messages target shard 0\n";
+    }
     const ShardTelemetry::Coordinator &co = tm.coord();
     const double co_scale =
         co.sampled_steps ? static_cast<double>(co.steps)
@@ -795,7 +886,7 @@ System::debugRead(Addr addr, unsigned size) const
         if (l1->debugRead(addr, size, v))
             return v;
     }
-    return dir_->debugRead(addr, size);
+    return dirs_[bankOf(addr)]->debugRead(addr, size);
 }
 
 std::uint64_t
@@ -834,7 +925,11 @@ System::quiesced() const
         if (!l1->quiesced())
             return false;
     }
-    return dir_->quiesced();
+    for (const auto &d : dirs_) {
+        if (!d->quiesced())
+            return false;
+    }
+    return true;
 }
 
 void
@@ -958,7 +1053,7 @@ System::buildWaitGraph(sim::WaitGraph &g) const
     using sim::WaitNode;
     using Kind = sim::WaitNode::Kind;
 
-    const mem::NodeId dir_node = config_.num_cores;
+    const std::uint32_t banks = config_.dir_banks;
 
     // Cores: what is each non-running core waiting for?
     for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
@@ -1019,7 +1114,9 @@ System::buildWaitGraph(sim::WaitGraph &g) const
     for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
         l1s_[i]->forEachMshr([&](const mem::L1Cache::Mshr &m) {
             g.addEdge(WaitNode{Kind::Mshr, i, m.block_addr},
-                      WaitNode{Kind::DirTxn, 0, m.block_addr},
+                      WaitNode{Kind::DirTxn,
+                               dirWaitId(banks, bankOf(m.block_addr)),
+                               m.block_addr},
                       m.want_m ? "GetM outstanding"
                                : "GetS outstanding");
             if (m.fill_blocked) {
@@ -1031,14 +1128,19 @@ System::buildWaitGraph(sim::WaitGraph &g) const
     }
 
     // Directory transactions: what each active transaction awaits.
-    dir_->forEachTxn([&](const mem::Directory::TxnView &t) {
-        const WaitNode txn{Kind::DirTxn, 0, t.block};
+    // Bank-major order; each bank's forEachTxn is block-address sorted,
+    // so dossiers stay deterministic at every bank count.
+    for (std::uint32_t b = 0; b < banks; ++b) {
+    const mem::Directory &bank_dir = *dirs_[b];
+    const std::uint32_t wid = dirWaitId(banks, b);
+    bank_dir.forEachTxn([&](const mem::Directory::TxnView &t) {
+        const WaitNode txn{Kind::DirTxn, wid, t.block};
         const std::string phase = t.phase;
         if (phase == "dram") {
-            g.addEdge(txn, WaitNode{Kind::Dram, 0, 0},
+            g.addEdge(txn, WaitNode{Kind::Dram, wid, 0},
                       "awaiting DRAM fill");
         } else if (phase == "fwd") {
-            const mem::L2Block *blk = dir_->findBlock(t.block);
+            const mem::L2Block *blk = bank_dir.findBlock(t.block);
             if (blk && blk->hasOwner()) {
                 std::ostringstream label;
                 label << "awaiting Fwd*Ack from owner (serving "
@@ -1052,7 +1154,7 @@ System::buildWaitGraph(sim::WaitGraph &g) const
                           label.str());
             }
         } else if (phase == "inv-acks") {
-            const mem::L2Block *blk = dir_->findBlock(t.block);
+            const mem::L2Block *blk = bank_dir.findBlock(t.block);
             if (blk) {
                 for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
                     if (blk->isSharer(c)) {
@@ -1062,12 +1164,14 @@ System::buildWaitGraph(sim::WaitGraph &g) const
                 }
             }
         }
-        // A recall transaction unblocks the request parked behind it.
+        // A recall transaction unblocks the request parked behind it;
+        // victim and blocked request both live in this bank's slice.
         if (t.is_recall && t.has_resume) {
-            g.addEdge(WaitNode{Kind::DirTxn, 0, t.resume_block}, txn,
+            g.addEdge(WaitNode{Kind::DirTxn, wid, t.resume_block}, txn,
                       "blocked on recall of L2 victim");
         }
     });
+    }
 
     // Network channels with traffic still in flight: informational --
     // a populated channel means delivery (progress) is still coming.
@@ -1078,9 +1182,12 @@ System::buildWaitGraph(sim::WaitGraph &g) const
         std::ostringstream label;
         label << ch.in_flight << " message(s) in flight";
         const std::uint32_t chan_id = (src << 8) | dst;
-        if (dst == dir_node) {
+        if (dst >= config_.num_cores) {
             g.addEdge(WaitNode{Kind::Channel, chan_id, 0},
-                      WaitNode{Kind::Directory, 0, 0}, label.str());
+                      WaitNode{Kind::Directory,
+                               dirWaitId(banks, dst - config_.num_cores),
+                               0},
+                      label.str());
         } else {
             g.addEdge(WaitNode{Kind::Channel, chan_id, 0},
                       WaitNode{Kind::Core, dst, 0}, label.str());
@@ -1136,7 +1243,8 @@ System::auditCoherence() const
 
     for (std::uint32_t i = 0; i < config_.num_cores; ++i) {
         l1s_[i]->forEachBlock([&](const mem::L1Block &blk) {
-            const mem::L2Block *l2 = dir_->findBlock(blk.block_addr);
+            const mem::L2Block *l2 =
+                dirs_[bankOf(blk.block_addr)]->findBlock(blk.block_addr);
             flAssert(l2, "inclusivity: L1 ", i, " holds 0x", std::hex,
                      blk.block_addr, std::dec, " but the L2 does not");
             switch (blk.state) {
@@ -1171,7 +1279,8 @@ System::auditCoherence() const
     }
 
     // Directory bookkeeping points at real copies.
-    dir_->forEachBlock([&](const mem::L2Block &l2) {
+    for (const auto &d : dirs_)
+    d->forEachBlock([&](const mem::L2Block &l2) {
         if (l2.hasOwner()) {
             const mem::L1Block *blk =
                 l1s_.at(l2.owner)->findBlock(l2.block_addr);

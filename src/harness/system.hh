@@ -9,7 +9,13 @@
  * (`SystemConfig::shards`): cores -- with their L1s, store buffers and
  * speculation controllers -- are partitioned into shards, each with its
  * own SimContext (event queue, trace sink, profiler) driven by one host
- * thread; the directory, DRAM and network bookkeeping stay on shard 0.
+ * thread.  With a monolithic directory (`dir_banks == 1`) the
+ * directory, DRAM and network bookkeeping stay on shard 0, making it a
+ * hub every miss crosses; with `dir_banks >= 2` the directory banks --
+ * each with its own DRAM channel -- are distributed round-robin over
+ * all shards (bank home = bank % shards) and the cores spread over all
+ * shards too, so coherence traffic becomes point-to-point between the
+ * requesting core's shard and the block's home bank.
  * Shards advance in conservatively-synchronized quanta whose length is
  * the minimum cross-shard latency (network latency + 1 cycle of
  * serialization -- the lookahead), with cross-shard messages exchanged
@@ -58,11 +64,21 @@ struct SystemConfig
     std::uint64_t max_cycles = 500'000'000;
 
     /**
+     * Directory banks (power of two, 1..64).  `l2.size` is the *total*
+     * L2 capacity; each bank gets a 1/dir_banks slice and its own DRAM
+     * channel.  Blocks interleave across banks by block index
+     * (mem::DirectoryMap).  1 keeps the classic monolithic directory.
+     */
+    std::uint32_t dir_banks = 1;
+
+    /**
      * Host threads to shard the simulation across (1 = the classic
-     * single-threaded reference).  Cores are partitioned contiguously
-     * over shards 1..N-1; shard 0 runs the directory/DRAM side.
-     * Clamped to [1, num_cores + 1].  Results are bitwise independent
-     * of this setting (see the file comment).
+     * single-threaded reference).  With dir_banks == 1, cores are
+     * partitioned contiguously over shards 1..N-1 and shard 0 runs the
+     * directory/DRAM side; with dir_banks >= 2, cores spread over all
+     * shards and each bank homes on shard (bank % shards).  Clamped to
+     * [1, num_cores + 1].  Results are bitwise independent of this
+     * setting (see the file comment).
      */
     std::uint32_t shards = 1;
 
@@ -160,6 +176,22 @@ struct SystemConfig
         host_telemetry = true;
         return *this;
     }
+
+    /** Convenience: bank the directory @p n ways. */
+    SystemConfig &
+    withDirBanks(std::uint32_t n)
+    {
+        dir_banks = n;
+        return *this;
+    }
+
+    /** Convenience: select the interconnect topology. */
+    SystemConfig &
+    withTopology(mem::Topology t)
+    {
+        net.topology = t;
+        return *this;
+    }
 };
 
 class System
@@ -210,7 +242,19 @@ class System
     cpu::Core &core(std::uint32_t i) { return *cores_.at(i); }
     const cpu::Core &core(std::uint32_t i) const { return *cores_.at(i); }
     mem::L1Cache &l1(std::uint32_t i) { return *l1s_.at(i); }
-    mem::Directory &directory() { return *dir_; }
+
+    /** Directory banks actually built (config dir_banks). */
+    std::uint32_t dirBanks() const
+    {
+        return static_cast<std::uint32_t>(dirs_.size());
+    }
+    mem::Directory &directoryBank(std::uint32_t b) { return *dirs_.at(b); }
+    const mem::Directory &directoryBank(std::uint32_t b) const
+    {
+        return *dirs_.at(b);
+    }
+    /** Bank 0 -- the whole directory when dir_banks == 1. */
+    mem::Directory &directory() { return *dirs_.at(0); }
 
     /** The speculation controller for core @p i (null when disabled). */
     spec::SpecController *specController(std::uint32_t i)
@@ -366,6 +410,9 @@ class System
 
     sim::SimContext &makeShardContexts();
     std::uint32_t shardOfCore(std::uint32_t core) const;
+    std::uint32_t shardOfBank(std::uint32_t bank) const;
+    /** The bank whose slice @p addr falls in. */
+    std::uint32_t bankOf(Addr addr) const;
     std::uint32_t totalHalted() const;
     Tick lookahead() const;
     std::vector<prof::CodeSym> codeSyms() const;
@@ -404,7 +451,7 @@ class System
     std::vector<StatSnapshot> snapshots_;
 
     std::unique_ptr<mem::Network> network_;
-    std::unique_ptr<mem::Directory> dir_;
+    std::vector<std::unique_ptr<mem::Directory>> dirs_;
     std::vector<std::unique_ptr<mem::L1Cache>> l1s_;
     std::vector<std::unique_ptr<cpu::Core>> cores_;
     std::vector<std::unique_ptr<spec::SpecController>> specs_;

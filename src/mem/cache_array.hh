@@ -98,10 +98,15 @@ class CacheArray
      * @param size_bytes  total capacity
      * @param assoc       ways per set
      * @param block_size  block (line) size in bytes
+     * @param index_shift block-index bits skipped when selecting the
+     *        set.  A directory bank serving every 2^k-th block passes
+     *        k here so the addresses it actually sees spread over all
+     *        of its sets instead of aliasing into 1/2^k of them.
      */
     CacheArray(std::uint64_t size_bytes, unsigned assoc,
-               unsigned block_size)
-        : assoc_(assoc), block_size_(block_size)
+               unsigned block_size, unsigned index_shift = 0)
+        : assoc_(assoc), block_size_(block_size),
+          index_shift_(index_shift)
     {
         flAssert(isPowerOf2(block_size), "block size must be a power of 2");
         flAssert(assoc > 0, "associativity must be positive");
@@ -130,7 +135,7 @@ class CacheArray
     std::uint64_t
     setIndex(Addr a) const
     {
-        return (a / block_size_) % num_sets_;
+        return ((a / block_size_) >> index_shift_) % num_sets_;
     }
 
     /** @return the block holding @p addr, or nullptr. */
@@ -213,6 +218,7 @@ class CacheArray
   private:
     unsigned assoc_;
     unsigned block_size_;
+    unsigned index_shift_;
     std::uint64_t num_sets_ = 0;
     std::uint64_t stamp_ = 0;
     std::vector<BlockT> blocks_;

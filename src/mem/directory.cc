@@ -8,6 +8,24 @@
 namespace fenceless::mem
 {
 
+namespace
+{
+
+/**
+ * Set-index bits a bank must skip: a bank of B sees only addresses
+ * whose low log2(B) block-index bits equal its bank number, so those
+ * bits carry no information for set selection.
+ */
+unsigned
+bankIndexShift(std::uint32_t banks)
+{
+    flAssert(isPowerOf2(banks), "directory banks must be a power of two "
+             "(got ", banks, ")");
+    return floorLog2(banks);
+}
+
+} // namespace
+
 Directory::Directory(sim::SimContext &ctx, const std::string &name,
                      const Params &params, NodeId node_id,
                      std::uint32_t num_cores, Network &network,
@@ -15,7 +33,8 @@ Directory::Directory(sim::SimContext &ctx, const std::string &name,
     : SimObject(ctx, name), params_(params), node_id_(node_id),
       num_cores_(num_cores), network_(network), backing_(backing),
       prof_(ctx.profiler.ifEnabled()),
-      array_(params.size, params.assoc, params.block_size),
+      array_(params.size, params.assoc, params.block_size,
+             bankIndexShift(params.banks)),
       stat_gets_(statGroup().addScalar("gets", "GetS transactions")),
       stat_getm_(statGroup().addScalar("getm", "GetM transactions")),
       stat_puts_(statGroup().addScalar("puts", "Put transactions")),
@@ -39,12 +58,20 @@ Directory::Directory(sim::SimContext &ctx, const std::string &name,
 {
     flAssert(num_cores <= max_cores, "directory supports at most ",
              max_cores, " cores");
+    flAssert(params.bank < params.banks, name, ": bank index ",
+             params.bank, " out of range for ", params.banks, " banks");
     network_.registerEndpoint(node_id_, this);
 }
 
 void
 Directory::receiveMsg(const Msg &msg)
 {
+    // Every message must target this bank's address slice: a misrouted
+    // request means an L1's DirectoryMap disagrees with the system's.
+    flAssert(((msg.block_addr >> floorLog2(params_.block_size))
+              & (params_.banks - 1)) == params_.bank,
+             name(), ": ", msg.toString(), " does not belong to bank ",
+             params_.bank, " of ", params_.banks);
     if (isDirRequest(msg.type)) {
         dispatch(msg);
         return;

@@ -62,6 +62,17 @@ class Directory : public sim::SimObject, public MsgReceiver
         Cycles latency = 6;       //!< tag/dir access before processing
         Cycles dram_latency = 80; //!< DRAM read latency
         Cycles dram_cycle = 4;    //!< min cycles between DRAM accesses
+
+        /**
+         * Address-interleaved banking (see mem::DirectoryMap): this
+         * instance is bank `bank` of `banks` (power of two), serving
+         * only the blocks whose low block-index bits equal `bank`.
+         * `size` is this bank's slice of the L2, not the total; each
+         * bank owns its own DRAM channel (dram_cycle spacing is per
+         * bank).  The 1/0 default is the monolithic directory.
+         */
+        std::uint32_t banks = 1;
+        std::uint32_t bank = 0;
     };
 
     Directory(sim::SimContext &ctx, const std::string &name,

@@ -24,10 +24,10 @@ l1StateName(L1State s)
 }
 
 L1Cache::L1Cache(sim::SimContext &ctx, const std::string &name,
-                 const Params &params, CoreId core_id, NodeId dir_node,
-                 Network &network)
+                 const Params &params, CoreId core_id,
+                 const DirectoryMap &dirmap, Network &network)
     : SimObject(ctx, name), params_(params), core_id_(core_id),
-      node_id_(core_id), dir_node_(dir_node), network_(network),
+      node_id_(core_id), dirmap_(dirmap), network_(network),
       prof_(ctx.profiler.ifEnabled()),
       array_(params.size, params.assoc, params.block_size),
       stat_loads_(statGroup().addScalar("loads", "load accesses")),
@@ -783,7 +783,7 @@ L1Cache::sendToDir(MsgType type, Addr block_addr,
     Msg msg;
     msg.type = type;
     msg.src = node_id_;
-    msg.dst = dir_node_;
+    msg.dst = dirmap_.nodeFor(block_addr);
     msg.block_addr = block_addr;
     msg.req_id = req_id;
     if (data)

@@ -74,8 +74,8 @@ class L1Cache : public sim::SimObject, public MsgReceiver
     };
 
     L1Cache(sim::SimContext &ctx, const std::string &name,
-            const Params &params, CoreId core_id, NodeId dir_node,
-            Network &network);
+            const Params &params, CoreId core_id,
+            const DirectoryMap &dirmap, Network &network);
 
     /** Attach the speculation controller (nullptr = speculation off). */
     void setSpecHooks(SpecHooks *hooks) { spec_ = hooks; }
@@ -253,7 +253,7 @@ class L1Cache : public sim::SimObject, public MsgReceiver
     CoreId core_id_;
     std::uint64_t last_req_id_ = 0; //!< per-L1 request-id sequence
     NodeId node_id_;
-    NodeId dir_node_;
+    DirectoryMap dirmap_; //!< routes each block to its home dir bank
     Network &network_;
     SpecHooks *spec_ = nullptr;
     prof::WasteProfiler *const prof_; //!< null when profiling is off

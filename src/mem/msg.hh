@@ -3,10 +3,15 @@
  * Coherence messages exchanged between L1 controllers and the directory.
  *
  * The protocol is directory-based MESI with a blocking directory that
- * collects invalidation acks itself, so all traffic flows L1 <-> directory
- * (a star).  Channels preserve point-to-point FIFO order, which several
- * protocol races rely on (e.g. WbClean ordered before a later
- * FwdNoDataAck from the same L1).
+ * collects invalidation acks itself, so all traffic flows
+ * L1 <-> directory bank (logically a star per bank).  Channels preserve
+ * point-to-point FIFO order, which several protocol races rely on
+ * (e.g. WbClean ordered before a later FwdNoDataAck from the same L1).
+ *
+ * The directory may be banked by block address (see DirectoryMap): an
+ * L1 computes the home bank of every block it talks about, so the
+ * protocol itself never needs to know the bank count -- each bank sees
+ * a disjoint address slice and runs the unmodified MESI state machine.
  */
 
 #pragma once
@@ -20,8 +25,43 @@
 namespace fenceless::mem
 {
 
-/** Network endpoint id: L1 caches are 0..N-1, the directory is N. */
+/**
+ * Network endpoint id: L1 caches are 0..N-1, the directory banks are
+ * N..N+B-1 (a single-bank directory is just node N, the legacy star).
+ */
 using NodeId = std::uint32_t;
+
+/**
+ * The block-address -> directory-bank mapping every L1 uses to route
+ * its requests.  Banks are selected by the low block-index bits
+ * (`bank = (addr >> block_shift) & (banks - 1)`), so consecutive
+ * blocks stripe round-robin across banks and `banks` must be a power
+ * of two.  Implicitly convertible from a bare NodeId for the
+ * single-bank tests and benches that predate banking.
+ */
+struct DirectoryMap
+{
+    NodeId first_node = 0;    //!< node id of bank 0 (== num cores)
+    std::uint32_t banks = 1;  //!< power-of-two bank count
+    unsigned block_shift = 6; //!< log2(block size)
+
+    DirectoryMap() = default;
+    DirectoryMap(NodeId single_bank_node) : first_node(single_bank_node) {}
+    DirectoryMap(NodeId first, std::uint32_t nbanks, unsigned shift)
+        : first_node(first), banks(nbanks), block_shift(shift)
+    {
+    }
+
+    std::uint32_t
+    bankOf(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(addr >> block_shift)
+               & (banks - 1);
+    }
+
+    /** The network node serving @p addr's directory bank. */
+    NodeId nodeFor(Addr addr) const { return first_node + bankOf(addr); }
+};
 
 enum class MsgType : std::uint8_t
 {
@@ -68,6 +108,7 @@ struct Msg
     Addr block_addr = 0;
     std::uint64_t req_id = 0; //!< request-lifetime id (0 = untracked)
     Tick sent_tick = 0;       //!< stamped by Network::send
+    std::uint8_t hops = 0;    //!< links traversed (stamped by send)
     std::vector<std::uint8_t> data; //!< block payload, empty for ctrl msgs
 
     bool hasData() const { return !data.empty(); }

@@ -48,6 +48,126 @@ isDirRequest(MsgType t)
     }
 }
 
+const char *
+topologyName(Topology t)
+{
+    switch (t) {
+      case Topology::Crossbar: return "crossbar";
+      case Topology::Ring: return "ring";
+      case Topology::Mesh: return "mesh";
+    }
+    return "?";
+}
+
+bool
+parseTopology(const std::string &s, Topology &out)
+{
+    if (s == "crossbar") {
+        out = Topology::Crossbar;
+    } else if (s == "ring") {
+        out = Topology::Ring;
+    } else if (s == "mesh") {
+        out = Topology::Mesh;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+MeshDims
+meshDims(std::uint32_t n)
+{
+    MeshDims d;
+    if (n == 0)
+        return d;
+    d.w = 1;
+    while (d.w * d.w < n)
+        ++d.w;
+    d.h = (n + d.w - 1) / d.w;
+    return d;
+}
+
+std::uint32_t
+routerSlots(Topology t, std::uint32_t n)
+{
+    if (t != Topology::Mesh)
+        return n;
+    const MeshDims d = meshDims(n);
+    return d.w * d.h;
+}
+
+std::uint32_t
+ringHops(std::uint32_t n, NodeId s, NodeId d)
+{
+    const std::uint32_t cw = (d + n - s) % n;
+    return std::min(cw, n - cw);
+}
+
+bool
+ringClockwise(std::uint32_t n, NodeId s, NodeId d)
+{
+    // Shorter direction; clockwise (increasing id) on ties, so the
+    // route -- and with it the link-occupancy accounting -- is a fixed
+    // function of (s, d) with no arbitration state.
+    const std::uint32_t cw = (d + n - s) % n;
+    return cw <= n - cw;
+}
+
+std::uint32_t
+meshHops(std::uint32_t n, NodeId s, NodeId d)
+{
+    const MeshDims dims = meshDims(n);
+    const std::int64_t dx = static_cast<std::int64_t>(d % dims.w)
+                            - static_cast<std::int64_t>(s % dims.w);
+    const std::int64_t dy = static_cast<std::int64_t>(d / dims.w)
+                            - static_cast<std::int64_t>(s / dims.w);
+    return static_cast<std::uint32_t>((dx < 0 ? -dx : dx)
+                                      + (dy < 0 ? -dy : dy));
+}
+
+std::uint32_t
+topologyHops(Topology t, std::uint32_t n, NodeId s, NodeId d)
+{
+    switch (t) {
+      case Topology::Crossbar: return 1;
+      case Topology::Ring: return ringHops(n, s, d);
+      case Topology::Mesh: return meshHops(n, s, d);
+    }
+    return 1;
+}
+
+void
+forEachRouteLink(Topology t, std::uint32_t n, NodeId s, NodeId d,
+                 const std::function<void(std::uint32_t)> &fn)
+{
+    if (t == Topology::Crossbar || s == d)
+        return;
+    if (t == Topology::Ring) {
+        const bool cw = ringClockwise(n, s, d);
+        for (NodeId at = s; at != d;) {
+            fn(at * 4 + (cw ? 0u : 1u));
+            at = cw ? (at + 1) % n : (at + n - 1) % n;
+        }
+        return;
+    }
+    // Mesh: XY routing -- walk out the x offset first, then y.  The
+    // intermediate grid slots need not host an endpoint (the last mesh
+    // row may be partially filled); they are routers either way.
+    const MeshDims dims = meshDims(n);
+    std::uint32_t x = s % dims.w, y = s / dims.w;
+    const std::uint32_t dx = d % dims.w, dy = d / dims.w;
+    while (x != dx) {
+        const bool east = x < dx;
+        fn((y * dims.w + x) * 4 + (east ? 0u : 1u));
+        x += east ? 1 : -1;
+    }
+    while (y != dy) {
+        const bool north = y < dy;
+        fn((y * dims.w + x) * 4 + (north ? 2u : 3u));
+        y += north ? 1 : -1;
+    }
+}
+
 std::string
 Msg::toString() const
 {
@@ -89,12 +209,29 @@ Network::Network(sim::SimContext &ctx, const std::string &name,
                                             "control messages")),
       stat_dropped_(statGroup().addScalar("dropped_msgs",
           "messages discarded by fault injection (drop_fwd_acks_for)")),
+      stat_hops_(statGroup().addScalar("hops",
+          "links crossed, summed over all messages (crossbar: 1 each)")),
+      stat_links_used_(statGroup().addScalar("links_used",
+          "directed links that carried at least one message "
+          "(ring/mesh only)")),
+      stat_hot_link_msgs_(statGroup().addScalar("hot_link_msgs",
+          "messages over the busiest directed link (ring/mesh only)")),
+      stat_hot_link_busy_(statGroup().addScalar("hot_link_busy",
+          "serialization cycles charged to the busiest directed link "
+          "(ring/mesh only)")),
       stat_msg_latency_(statGroup().addDistribution("msg_latency",
-          "cycles from send to delivery (latency + serialization + "
-          "channel backpressure)"))
+          "cycles from send to delivery (route latency + serialization "
+          "+ channel backpressure)"))
 {
     flAssert(params_.link_bytes_per_cycle > 0,
              "network link bandwidth must be positive");
+    if (params_.topology != Topology::Crossbar) {
+        flAssert(params_.num_nodes >= 2, topologyName(params_.topology),
+                 " topology needs num_nodes >= 2 (got ",
+                 params_.num_nodes, ")");
+        flAssert(params_.hop_latency > 0,
+                 "per-hop latency must be positive");
+    }
 
     std::vector<std::string> msg_names;
     for (int t = 0; t <= static_cast<int>(MsgType::FwdNoDataAck); ++t)
@@ -172,10 +309,41 @@ Network::send(Msg msg)
         (msg.sizeBytes() + params_.link_bytes_per_cycle - 1)
         / params_.link_bytes_per_cycle;
 
+    Tick route_latency = params_.latency;
+    std::uint32_t hops = 1;
+    if (params_.topology != Topology::Crossbar) {
+        flAssert(msg.src < params_.num_nodes &&
+                 msg.dst < params_.num_nodes,
+                 "endpoint outside the configured ",
+                 topologyName(params_.topology), " (num_nodes=",
+                 params_.num_nodes, ")");
+        hops = topologyHops(params_.topology, params_.num_nodes,
+                            msg.src, msg.dst);
+        route_latency = static_cast<Tick>(hops) * params_.hop_latency;
+        // Charge this message's serialization to every directed link
+        // on its (fixed, deterministic) route -- sender-owned counters
+        // only, folded in node order at finalizeStats().
+        if (src.link_msgs.empty()) {
+            const std::size_t nlinks =
+                static_cast<std::size_t>(routerSlots(
+                    params_.topology, params_.num_nodes)) * 4;
+            src.link_msgs.assign(nlinks, 0);
+            src.link_busy.assign(nlinks, 0);
+        }
+        forEachRouteLink(params_.topology, params_.num_nodes, msg.src,
+                         msg.dst, [&](std::uint32_t link) {
+                             ++src.link_msgs[link];
+                             src.link_busy[link] += serialization;
+                         });
+    }
+    msg.hops = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(hops, 255));
+    src.tx_hops += hops;
+
     if (src.chans.size() <= msg.dst)
         src.chans.resize(msg.dst + 1);
     TxChan &ch = src.chans[msg.dst];
-    Tick arrival = msg.sent_tick + params_.latency + serialization;
+    Tick arrival = msg.sent_tick + route_latency + serialization;
     // Preserve per-channel FIFO order and serialize on link bandwidth.
     if (arrival <= ch.last_arrival)
         arrival = ch.last_arrival + serialization;
@@ -280,18 +448,46 @@ Network::finalizeStats()
         return;
     finalized_ = true;
     std::uint64_t msgs = 0, bytes = 0, data = 0, ctrl = 0, dropped = 0;
+    std::uint64_t hops = 0;
     for (const Node &n : nodes_) {
         msgs += n.tx_msgs;
         bytes += n.tx_bytes;
         data += n.tx_data_msgs;
         ctrl += n.tx_ctrl_msgs;
         dropped += n.tx_dropped;
+        hops += n.tx_hops;
     }
     stat_msgs_ = msgs;
     stat_bytes_ = bytes;
     stat_data_msgs_ = data;
     stat_ctrl_msgs_ = ctrl;
     stat_dropped_ = dropped;
+    stat_hops_ = hops;
+    if (params_.topology != Topology::Crossbar) {
+        // Fold the per-sender link occupancy into per-link totals
+        // (node order -- deterministic) and report the hot spot.
+        const std::size_t nlinks =
+            static_cast<std::size_t>(routerSlots(
+                params_.topology, params_.num_nodes)) * 4;
+        std::vector<std::uint64_t> lmsgs(nlinks, 0), lbusy(nlinks, 0);
+        for (const Node &n : nodes_) {
+            for (std::size_t l = 0; l < n.link_msgs.size(); ++l) {
+                lmsgs[l] += n.link_msgs[l];
+                lbusy[l] += n.link_busy[l];
+            }
+        }
+        std::uint64_t used = 0, hot_msgs = 0, hot_busy = 0;
+        for (std::size_t l = 0; l < nlinks; ++l) {
+            if (lmsgs[l] == 0)
+                continue;
+            ++used;
+            hot_msgs = std::max(hot_msgs, lmsgs[l]);
+            hot_busy = std::max(hot_busy, lbusy[l]);
+        }
+        stat_links_used_ = used;
+        stat_hot_link_msgs_ = hot_msgs;
+        stat_hot_link_busy_ = hot_busy;
+    }
     for (Node &n : nodes_) {
         if (n.rx_count) {
             stat_msg_latency_.merge(n.rx_count, n.rx_sum, n.rx_mean,

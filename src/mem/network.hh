@@ -2,11 +2,33 @@
  * @file
  * The on-chip interconnect model.
  *
- * A star network between the L1 controllers and the directory.  Each
- * (src, dst) channel is a FIFO: a message arrives
- * max(now + latency, channel_last_arrival + serialization) cycles later,
- * where serialization = ceil(bytes / link_bytes_per_cycle) models link
- * bandwidth.  FIFO order per channel is a protocol requirement.
+ * A topology layer connects the L1 controllers and the directory
+ * bank(s).  Three topologies are supported:
+ *
+ *  - Crossbar (default): the legacy star -- every message pays the
+ *    same `latency`, regardless of endpoints.
+ *  - Ring: nodes 0..N-1 on a bidirectional ring; a message takes the
+ *    shorter direction (clockwise on ties -- a fixed, deterministic
+ *    tie-break) and pays `hop_latency` per link crossed.
+ *  - Mesh: nodes laid out row-major on a ceil(sqrt(N))-wide 2D grid
+ *    with deterministic XY (x-first) dimension-ordered routing;
+ *    `hop_latency` per link.
+ *
+ * Each (src, dst) channel is a FIFO: a message arrives
+ * max(now + route_latency, channel_last_arrival + serialization)
+ * cycles later, where route_latency is `latency` (crossbar) or
+ * hops * `hop_latency` (ring/mesh) and serialization =
+ * ceil(bytes / link_bytes_per_cycle) models link bandwidth.  FIFO
+ * order per channel is a protocol requirement.
+ *
+ * Link occupancy is modeled as per-source accounting: every message
+ * charges its serialization cycles to each directed link on its route,
+ * accumulated in sender-owned counters and folded deterministically at
+ * finalizeStats() (hop totals, hot-link occupancy).  Shared-link
+ * *timing* contention is deliberately not modeled: arrival times must
+ * be a pure function of sender-owned channel state so that a sharded
+ * run stays byte-identical to the single-threaded reference without
+ * cross-thread synchronization on every send (see below).
  *
  * The network is also the simulator's only cross-shard edge when the
  * System is sharded across host threads (--shards=N), so delivery is
@@ -50,13 +72,87 @@ class MsgReceiver
     virtual void receiveMsg(const Msg &msg) = 0;
 };
 
+/** Interconnect topology (see the file comment). */
+enum class Topology : std::uint8_t
+{
+    Crossbar, //!< flat star: uniform latency (the legacy model)
+    Ring,     //!< bidirectional ring, shortest direction, cw on ties
+    Mesh,     //!< 2D mesh, XY dimension-ordered routing
+};
+
+/** @return the printable name of a topology. */
+const char *topologyName(Topology t);
+
+/** Parse "crossbar" / "ring" / "mesh". @return false on anything else. */
+bool parseTopology(const std::string &s, Topology &out);
+
+/** Row-major 2D mesh geometry for @p n nodes: w = ceil(sqrt(n)). */
+struct MeshDims
+{
+    std::uint32_t w = 0;
+    std::uint32_t h = 0;
+};
+MeshDims meshDims(std::uint32_t n);
+
+/**
+ * Router slots the topology routes through: @p n for the ring, the
+ * full w x h grid for the mesh -- XY routes legally cross the empty
+ * slots of a partially-filled last row, and those routers own links
+ * too.  Sizes the per-link occupancy arrays (4 links per slot).
+ */
+std::uint32_t routerSlots(Topology t, std::uint32_t n);
+
+/** Ring distance s -> d over @p n nodes (shorter direction). */
+std::uint32_t ringHops(std::uint32_t n, NodeId s, NodeId d);
+
+/** @return true if the ring route s -> d goes clockwise (id + 1). */
+bool ringClockwise(std::uint32_t n, NodeId s, NodeId d);
+
+/** Manhattan distance on the @p n-node mesh (XY routing length). */
+std::uint32_t meshHops(std::uint32_t n, NodeId s, NodeId d);
+
+/** Links a message s -> d crosses under @p t (crossbar: always 1). */
+std::uint32_t topologyHops(Topology t, std::uint32_t n, NodeId s,
+                           NodeId d);
+
+/**
+ * Directed links are identified as `node * 4 + direction`, direction
+ * 0 = +x / clockwise, 1 = -x / counter-clockwise, 2 = +y, 3 = -y.
+ * Visit each link id on the (deterministic) route s -> d in order.
+ * The crossbar has no modeled links; the visitor is never called.
+ */
+void forEachRouteLink(Topology t, std::uint32_t n, NodeId s, NodeId d,
+                      const std::function<void(std::uint32_t)> &fn);
+
 class Network : public sim::SimObject
 {
   public:
     struct Params
     {
-        Cycles latency = 8;           //!< base traversal latency
+        Topology topology = Topology::Crossbar;
+        Cycles latency = 8;     //!< crossbar traversal latency
+        Cycles hop_latency = 3; //!< per-link latency (ring/mesh)
+        /**
+         * Endpoint count, fixing the ring circumference / mesh
+         * dimensions.  Required (>= 2) for ring and mesh; the crossbar
+         * ignores it and grows its node table on demand.
+         */
+        std::uint32_t num_nodes = 0;
         std::uint32_t link_bytes_per_cycle = 16;
+
+        /**
+         * The minimum cross-node delay this topology can produce: one
+         * route of minimal length plus the >= 1 serialization cycle
+         * every message pays.  The sharded driver's lookahead (see
+         * harness/system.hh) must not exceed this.
+         */
+        Tick
+        minDelay() const
+        {
+            return static_cast<Tick>(topology == Topology::Crossbar
+                                         ? latency
+                                         : hop_latency) + 1;
+        }
         /**
          * Fault injection: silently drop FwdDataAck/FwdNoDataAck
          * messages for these block addresses.  The owner believes it
@@ -203,6 +299,17 @@ class Network : public sim::SimObject
         std::uint64_t tx_data_msgs = 0;
         std::uint64_t tx_ctrl_msgs = 0;
         std::uint64_t tx_dropped = 0;
+        std::uint64_t tx_hops = 0; //!< links crossed by sent messages
+
+        /**
+         * Per-link occupancy charged by this node's sends (indexed by
+         * link id, lazily sized; empty on the crossbar).  Single-writer
+         * by construction -- only this node's shard thread sends from
+         * this node -- and folded across nodes in node order at
+         * finalizeStats(), so the totals are shard-count independent.
+         */
+        std::vector<std::uint64_t> link_msgs;
+        std::vector<std::uint64_t> link_busy; //!< serialization cycles
 
         // rx side (this node as msg.dst)
         std::vector<PendingMsg> heap; //!< min-heap via Pending order
@@ -239,6 +346,10 @@ class Network : public sim::SimObject
     statistics::Scalar &stat_data_msgs_;
     statistics::Scalar &stat_ctrl_msgs_;
     statistics::Scalar &stat_dropped_; //!< fault-injected drops
+    statistics::Scalar &stat_hops_;    //!< total links crossed
+    statistics::Scalar &stat_links_used_;    //!< links with traffic
+    statistics::Scalar &stat_hot_link_msgs_; //!< busiest link, msgs
+    statistics::Scalar &stat_hot_link_busy_; //!< busiest link, cycles
     statistics::Distribution &stat_msg_latency_;
 };
 

@@ -26,16 +26,26 @@ WaitNode::toString() const
         os << "l1_" << id << ".mshr[0x" << std::hex << addr << "]";
         break;
       case Kind::DirTxn:
-        os << "l2dir.txn[0x" << std::hex << addr << "]";
+        if (id == 0)
+            os << "l2dir.txn[0x" << std::hex << addr << "]";
+        else
+            os << "dir.bank" << (id - 1) << ".txn[0x" << std::hex << addr
+               << "]";
         break;
       case Kind::Directory:
-        os << "l2dir";
+        if (id == 0)
+            os << "l2dir";
+        else
+            os << "dir.bank" << (id - 1);
         break;
       case Kind::Channel:
         os << "net[" << (id >> 8) << "->" << (id & 0xff) << "]";
         break;
       case Kind::Dram:
-        os << "dram";
+        if (id == 0)
+            os << "dram";
+        else
+            os << "dram.chan" << (id - 1);
         break;
     }
     return os.str();

@@ -31,7 +31,15 @@
 namespace fenceless::sim
 {
 
-/** One vertex: a waiting agent or a held resource. */
+/**
+ * One vertex: a waiting agent or a held resource.
+ *
+ * Directory-side kinds (DirTxn, Directory, Dram) encode the owning
+ * bank in `id` as bank + 1 so that id == 0 keeps the legacy monolithic
+ * names ("l2dir", "l2dir.txn[..]", "dram") -- single-bank dossiers
+ * stay byte-identical to pre-banking runs, and banked runs name the
+ * individual bank ("dir.bank3", "dram.chan3").
+ */
 struct WaitNode
 {
     enum class Kind : std::uint8_t
@@ -40,10 +48,10 @@ struct WaitNode
         StoreBuffer, //!< id = owning core index
         SpecEpoch,   //!< id = owning core index
         Mshr,        //!< id = L1 index, addr = block address
-        DirTxn,      //!< addr = block address of the transaction
-        Directory,   //!< the directory/L2 as a whole
+        DirTxn,      //!< addr = block address; id = bank + 1, 0 legacy
+        Directory,   //!< a directory bank; id = bank + 1, 0 legacy
         Channel,     //!< id = (src << 8) | dst network endpoint pair
-        Dram,        //!< backing memory
+        Dram,        //!< a DRAM channel; id = bank + 1, 0 legacy
     };
 
     Kind kind = Kind::Core;

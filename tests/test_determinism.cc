@@ -88,12 +88,14 @@ struct RunArtifacts
 
 /** Build and run one sharded system; collect all output documents. */
 RunArtifacts
-runSharded(std::uint32_t shards)
+runSharded(std::uint32_t shards, std::uint32_t dir_banks = 1,
+           mem::Topology topology = mem::Topology::Crossbar)
 {
     harness::SystemConfig cfg;
     cfg.num_cores = 8;
     cfg.model = cpu::ConsistencyModel::TSO;
     cfg.withSpeculation().withProfiling().withShards(shards);
+    cfg.withDirBanks(dir_banks).withTopology(topology);
     workload::SpinlockCrit wl;
     isa::Program prog = wl.build(cfg.num_cores);
     harness::System sys(cfg, prog);
@@ -611,4 +613,88 @@ TEST(Determinism, TelemetryOffStatsIdenticalAcrossShardCounts)
         EXPECT_EQ(stripSimMode(runAndRenderStats(c)), ref)
             << shards << " shards";
     }
+}
+
+// ---------------------------------------------------------------------
+// banked directory x sharding: byte-identity at every bank count
+// ---------------------------------------------------------------------
+
+TEST(Determinism, BankedShardedByteIdenticalAcrossShardCounts)
+{
+    // Banking changes WHAT is simulated (per-bank L2 slices, DRAM
+    // channels), so different bank counts legitimately differ; the
+    // guarantee is that at every FIXED bank count, the shard count --
+    // pure host parallelism, including the banked all-shards layout
+    // with banks homed round-robin -- changes nothing.
+    for (std::uint32_t banks : {1u, 4u, 8u}) {
+        const RunArtifacts ref = runSharded(1, banks);
+        ASSERT_TRUE(ref.completed) << banks << " banks";
+        for (std::uint32_t shards : {2u, 4u}) {
+            const RunArtifacts run = runSharded(shards, banks);
+            ASSERT_TRUE(run.completed)
+                << banks << " banks, " << shards << " shards";
+            EXPECT_EQ(run.stats, ref.stats)
+                << banks << " banks, " << shards << " shards";
+            EXPECT_EQ(run.profile_json, ref.profile_json)
+                << banks << " banks, " << shards << " shards";
+            EXPECT_EQ(run.folded, ref.folded)
+                << banks << " banks, " << shards << " shards";
+            EXPECT_EQ(run.blackbox, ref.blackbox)
+                << banks << " banks, " << shards << " shards";
+        }
+    }
+}
+
+TEST(Determinism, BankedMeshShardedByteIdenticalToReference)
+{
+    // The full tentpole stack at once: banked directory behind a mesh
+    // NoC, sharded.  Hop-dependent arrival times are sender-computed,
+    // so the canonical ingress order -- and every document -- must
+    // still be shard-count independent.
+    const RunArtifacts ref = runSharded(1, 4, mem::Topology::Mesh);
+    ASSERT_TRUE(ref.completed);
+    for (std::uint32_t shards : {2u, 4u}) {
+        const RunArtifacts run = runSharded(shards, 4,
+                                            mem::Topology::Mesh);
+        ASSERT_TRUE(run.completed) << shards << " shards";
+        EXPECT_EQ(run.stats, ref.stats) << shards << " shards";
+        EXPECT_EQ(run.blackbox, ref.blackbox) << shards << " shards";
+    }
+}
+
+TEST(Determinism, BankedRingShardedStatsIdentical)
+{
+    const RunArtifacts ref = runSharded(1, 8, mem::Topology::Ring);
+    ASSERT_TRUE(ref.completed);
+    const RunArtifacts run = runSharded(4, 8, mem::Topology::Ring);
+    ASSERT_TRUE(run.completed);
+    EXPECT_EQ(run.stats, ref.stats);
+    EXPECT_EQ(run.profile_json, ref.profile_json);
+}
+
+TEST(Determinism, BankedMesh64CoreEndToEnd)
+{
+    // The headline configuration: 64 simulated cores on a 9x8 mesh
+    // with 8 directory banks, sharded.  Light per-core work keeps the
+    // test quick; completion + byte-identity is the point.
+    auto run = [](std::uint32_t shards) {
+        harness::SystemConfig cfg;
+        cfg.num_cores = 64;
+        cfg.model = cpu::ConsistencyModel::TSO;
+        cfg.withDirBanks(8).withTopology(mem::Topology::Mesh);
+        cfg.withShards(shards);
+        workload::LocalLockStream::Params p;
+        p.iters = 8;
+        workload::LocalLockStream wl(p);
+        isa::Program prog = wl.build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        EXPECT_TRUE(sys.run()) << shards << " shards";
+        std::ostringstream os;
+        sys.writeStatsJson(os);
+        return stripSimMode(os.str());
+    };
+    const std::string ref = run(1);
+    EXPECT_NE(ref.find("l2dir.bank7"), std::string::npos);
+    EXPECT_NE(ref.find("network.hops"), std::string::npos);
+    EXPECT_EQ(run(4), ref);
 }

@@ -116,6 +116,33 @@ TEST(Options, ParallelSimAndShards)
     EXPECT_EQ(cfg.shards, 3u);
 }
 
+TEST(Options, TopologyAndBankingFlags)
+{
+    SystemConfig cfg = parse({"--topology=mesh", "--hop-latency=5",
+                              "--dir-banks=8"})
+                           .applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.net.topology, mem::Topology::Mesh);
+    EXPECT_EQ(cfg.net.hop_latency, 5u);
+    EXPECT_EQ(cfg.dir_banks, 8u);
+
+    cfg = parse({"--topology=ring"}).applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.net.topology, mem::Topology::Ring);
+
+    // Bad bank counts warn and round down rather than aborting.
+    cfg = parse({"--dir-banks=6"}).applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.dir_banks, 4u);
+    cfg = parse({"--dir-banks=0"}).applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.dir_banks, 1u);
+    cfg = parse({"--dir-banks=128"}).applyTo(SystemConfig{});
+    EXPECT_EQ(cfg.dir_banks, 64u);
+}
+
+TEST(Options, UnknownTopologyIsFatal)
+{
+    EXPECT_EXIT(parse({"--topology=torus"}).applyTo(SystemConfig{}),
+                testing::ExitedWithCode(1), "unknown topology");
+}
+
 TEST(Options, SimModeEchoedIntoProvenance)
 {
     // How the run was invoked must be recoverable from any output
@@ -131,7 +158,8 @@ TEST(Options, SimModeEchoedIntoProvenance)
     harness::System sys(cfg, prog);
     ASSERT_TRUE(sys.run());
     EXPECT_NE(sys.provenanceJson().find(
-                  "\"sim_mode\": {\"parallel_sim\": 1, \"shards\": 2}"),
+                  "\"sim_mode\": {\"parallel_sim\": 1, \"shards\": 2, "
+                  "\"dir_banks\": 1, \"topology\": \"crossbar\"}"),
               std::string::npos);
 
     for (auto write : {&harness::System::writeStatsJson,
@@ -145,7 +173,8 @@ TEST(Options, SimModeEchoedIntoProvenance)
     harness::System ref(testConfig(2), prog);
     ASSERT_TRUE(ref.run());
     EXPECT_NE(ref.provenanceJson().find(
-                  "\"sim_mode\": {\"parallel_sim\": 0, \"shards\": 1}"),
+                  "\"sim_mode\": {\"parallel_sim\": 0, \"shards\": 1, "
+                  "\"dir_banks\": 1, \"topology\": \"crossbar\"}"),
               std::string::npos);
 }
 
