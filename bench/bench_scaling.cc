@@ -11,6 +11,8 @@
  * would not be worth building.
  */
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include "bench/bench_common.hh"
@@ -40,9 +42,26 @@ struct NocMeas
 {
     double speedup = 0;
     double hops_per_msg = 0;
+    std::uint64_t base_cycles = 0;
+    std::uint64_t spec_cycles = 0;
+    std::uint64_t rollbacks = 0;
+    std::uint64_t msgs = 0;
+    std::uint64_t hops = 0;
+    std::uint64_t links_used = 0;
+    std::uint64_t hot_link_msgs = 0;
+    std::uint64_t hot_link_busy = 0;
     std::string error;
     bool hung = false;
 };
+
+/** A JSON double: %.6g is plenty for speedups and never locale-y. */
+std::string
+jsonNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
 
 } // namespace
 
@@ -171,18 +190,26 @@ main(int argc, char **argv)
                     out.hung = m.hung;
                     return out;
                 }
+                out.base_cycles = base.result.cycles;
+                out.spec_cycles = m.sys->runtimeCycles();
                 out.speedup =
-                    static_cast<double>(base.result.cycles)
-                    / static_cast<double>(m.sys->runtimeCycles());
+                    static_cast<double>(out.base_cycles)
+                    / static_cast<double>(out.spec_cycles);
+                out.rollbacks = m.sys->totalRollbacks();
                 for (const auto &group : m.sys->stats().groups()) {
                     if (group->name() != "network")
                         continue;
-                    const auto msgs = group->scalarCount("msgs");
-                    if (msgs > 0) {
+                    out.msgs = group->scalarCount("msgs");
+                    out.hops = group->scalarCount("hops");
+                    out.links_used = group->scalarCount("links_used");
+                    out.hot_link_msgs =
+                        group->scalarCount("hot_link_msgs");
+                    out.hot_link_busy =
+                        group->scalarCount("hot_link_busy");
+                    if (out.msgs > 0) {
                         out.hops_per_msg =
-                            static_cast<double>(
-                                group->scalarCount("hops"))
-                            / static_cast<double>(msgs);
+                            static_cast<double>(out.hops)
+                            / static_cast<double>(out.msgs);
                     }
                 }
                 return out;
@@ -215,5 +242,38 @@ main(int argc, char **argv)
     std::cout << "\nShape: speculation keeps paying on multi-hop "
                  "NoCs; the mesh needs fewer\nhops per message than "
                  "the ring at 64 cores.\n";
+
+    // One JSON object per F9b sweep point for fl_report --sweep-json:
+    // the deterministic simulated counters only, never host timings.
+    if (const std::string path = opts.sweepJson(); !path.empty()) {
+        std::ofstream os(path, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            std::cerr << "cannot write --sweep-json file " << path
+                      << "\n";
+            return 1;
+        }
+        idx = 0;
+        for (mem::Topology topo : topos) {
+            for (std::uint32_t cores : noc_cores) {
+                const NocMeas &m = noc_results[idx++];
+                os << "{\"figure\": \"F9b\""
+                   << ", \"workload\": \"local-lock-stream\""
+                   << ", \"topology\": \"" << mem::topologyName(topo)
+                   << "\", \"cores\": " << cores
+                   << ", \"dir_banks\": 8"
+                   << ", \"base_cycles\": " << m.base_cycles
+                   << ", \"spec_cycles\": " << m.spec_cycles
+                   << ", \"speedup\": " << jsonNum(m.speedup)
+                   << ", \"rollbacks\": " << m.rollbacks
+                   << ", \"msgs\": " << m.msgs
+                   << ", \"hops\": " << m.hops
+                   << ", \"hops_per_msg\": " << jsonNum(m.hops_per_msg)
+                   << ", \"links_used\": " << m.links_used
+                   << ", \"hot_link_msgs\": " << m.hot_link_msgs
+                   << ", \"hot_link_busy\": " << m.hot_link_busy
+                   << "}\n";
+            }
+        }
+    }
     return 0;
 }

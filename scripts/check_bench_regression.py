@@ -45,10 +45,20 @@ failed.
 
 Benchmarks present in only one file are reported but never fatal, so
 adding or renaming benchmarks does not break CI in the same PR.
+
+When a check fails and the caller passed --triage-baseline=SPEC,
+--triage-fresh=SPEC and --fl-report=PATH, the fl_report binary is run
+on the two runs' artifacts (SPEC is "stats.json[,profile.json]") and
+its triage block -- waste-bucket deltas, worst regressed symbols,
+hot-link movement -- is appended to the failure output, so the CI log
+answers "what got slower" next to "that it got slower".  Triage is
+best-effort: a missing binary or artifact prints a note and never
+changes the exit code.
 """
 
 import json
 import statistics
+import subprocess
 import sys
 
 GUARDED_PREFIXES = ("BM_EventQueue", "BM_FullSystem/",
@@ -276,12 +286,42 @@ def check_relative(fresh):
     return failures
 
 
+def run_triage(fl_report, triage_baseline, triage_fresh):
+    """Append fl_report's triage block to a failing run.  Best-effort:
+    triage must never turn a clean failure report into a crash."""
+    cmd = [fl_report,
+           f"--baseline=baseline={triage_baseline}",
+           f"--run=fresh={triage_fresh}",
+           "--triage"]
+    try:
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=120)
+    except (OSError, subprocess.TimeoutExpired) as e:
+        print(f"note: fl_report triage unavailable: {e}")
+        return
+    if proc.returncode != 0:
+        print(f"note: fl_report triage failed: "
+              f"{proc.stderr.strip() or proc.stdout.strip()}")
+        return
+    print("\n-- fl_report triage (baseline vs fresh) --")
+    print(proc.stdout.rstrip())
+
+
 def main(argv):
     threshold = 0.20
     paths = []
+    fl_report = None
+    triage_baseline = None
+    triage_fresh = None
     for arg in argv[1:]:
         if arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--fl-report="):
+            fl_report = arg.split("=", 1)[1]
+        elif arg.startswith("--triage-baseline="):
+            triage_baseline = arg.split("=", 1)[1]
+        elif arg.startswith("--triage-fresh="):
+            triage_fresh = arg.split("=", 1)[1]
         else:
             paths.append(arg)
     if len(paths) < 2:
@@ -311,6 +351,8 @@ def main(argv):
             print(f"note: {name} not in any baseline (unguarded)")
 
     if failures:
+        if fl_report and triage_baseline and triage_fresh:
+            run_triage(fl_report, triage_baseline, triage_fresh)
         print(f"\n{len(failures)} check(s) failed: "
               f"{', '.join(failures)}", file=sys.stderr)
         return 1

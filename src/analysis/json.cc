@@ -1,0 +1,288 @@
+#include "analysis/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace fenceless::analysis
+{
+
+namespace
+{
+
+const Json null_json;
+
+} // namespace
+
+const Json &
+Json::operator[](const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return null_json;
+    auto it = obj_.find(key);
+    return it == obj_.end() ? null_json : it->second;
+}
+
+class Parser
+{
+  public:
+    Parser(const std::string &text) : text_(text) {}
+
+    bool
+    run(Json &out, std::string &error)
+    {
+        if (!value(out) || !(skipWs(), atEnd())) {
+            error = describe();
+            out = Json{};
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char peek() const { return atEnd() ? '\0' : text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            ++pos_;
+        }
+    }
+
+    bool
+    fail(const char *what)
+    {
+        if (what_ == nullptr) { // keep the innermost, earliest cause
+            what_ = what;
+            fail_pos_ = pos_;
+        }
+        return false;
+    }
+
+    std::string
+    describe() const
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < fail_pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        std::ostringstream os;
+        os << "line " << line << ", column " << col << ": "
+           << (what_ ? what_ : "trailing characters after the document");
+        return os.str();
+    }
+
+    bool
+    literal(const char *word, Json &out, Json::Kind kind, bool b)
+    {
+        for (const char *p = word; *p; ++p, ++pos_) {
+            if (peek() != *p)
+                return fail("invalid literal");
+        }
+        out.kind_ = kind;
+        out.bool_ = b;
+        return true;
+    }
+
+    bool
+    number(Json &out)
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (std::isdigit(static_cast<unsigned char>(peek())))
+            ++pos_;
+        if (peek() == '.') {
+            ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (peek() == 'e' || peek() == 'E') {
+            ++pos_;
+            if (peek() == '+' || peek() == '-')
+                ++pos_;
+            while (std::isdigit(static_cast<unsigned char>(peek())))
+                ++pos_;
+        }
+        if (pos_ == start)
+            return fail("expected a number");
+        const std::string tok = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double v = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            return fail("malformed number");
+        out.kind_ = Json::Kind::Number;
+        out.num_ = v;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (peek() != '"')
+            return fail("expected '\"'");
+        ++pos_;
+        out.clear();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape");
+            c = text_[pos_++];
+            switch (c) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                // Our writers only emit \u00xx control escapes; decode
+                // the BMP code point as Latin-1/ASCII when it fits one
+                // byte and pass the raw escape through otherwise.
+                if (pos_ + 4 > text_.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad hex digit in \\u escape");
+                }
+                if (code < 0x100) {
+                    out += static_cast<char>(code);
+                } else {
+                    std::ostringstream raw;
+                    raw << "\\u" << std::hex << code;
+                    out += raw.str();
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    bool
+    value(Json &out)
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': return objectValue(out);
+          case '[': return arrayValue(out);
+          case '"':
+            out.kind_ = Json::Kind::String;
+            return string(out.str_);
+          case 't': return literal("true", out, Json::Kind::Bool, true);
+          case 'f':
+            return literal("false", out, Json::Kind::Bool, false);
+          case 'n': return literal("null", out, Json::Kind::Null, false);
+          default: return number(out);
+        }
+    }
+
+    bool
+    objectValue(Json &out)
+    {
+        ++pos_; // consume '{'
+        out.kind_ = Json::Kind::Object;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            Json member;
+            if (!value(member))
+                return false;
+            out.obj_[key] = std::move(member);
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    arrayValue(Json &out)
+    {
+        ++pos_; // consume '['
+        out.kind_ = Json::Kind::Array;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            Json element;
+            if (!value(element))
+                return false;
+            out.arr_.push_back(std::move(element));
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+    const char *what_ = nullptr;
+    std::size_t fail_pos_ = 0;
+};
+
+bool
+Json::parse(const std::string &text, Json &out, std::string &error)
+{
+    Parser p(text);
+    return p.run(out, error);
+}
+
+} // namespace fenceless::analysis

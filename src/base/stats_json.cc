@@ -30,7 +30,47 @@ printJsonNumber(std::ostream &os, double v)
     }
 }
 
+/** First-match unit rules over the registry's naming conventions. */
+struct UnitRule
+{
+    const char *needle; //!< substring of the short stat name
+    const char *unit;
+};
+
+constexpr UnitRule unit_rules[] = {
+    // Tick-valued timings and stall accounting.
+    {"latency", "cycles"},
+    {"_wait", "cycles"},
+    {"_service", "cycles"},
+    {"stall_", "cycles"},
+    {"halt_tick", "cycles"},
+    // Rates and sizes.
+    {"ipc", "insts/cycle"},
+    {"bytes", "bytes"},
+    {"msgs", "messages"},
+    {"instructions", "instructions"},
+    {"insts", "instructions"},
+    {"occupancy", "entries"},
+    {"hops", "hops"},
+};
+
 } // namespace
+
+const char *
+statUnit(const Stat &stat)
+{
+    // Match on the short (group-unqualified) name so a group named
+    // e.g. "net.rx3" cannot accidentally satisfy a rule.
+    const std::string &name = stat.name();
+    const auto dot = name.rfind('.');
+    const std::string short_name =
+        dot == std::string::npos ? name : name.substr(dot + 1);
+    for (const UnitRule &rule : unit_rules) {
+        if (short_name.find(rule.needle) != std::string::npos)
+            return rule.unit;
+    }
+    return "count";
+}
 
 std::string
 jsonQuote(const std::string &s)
@@ -125,10 +165,35 @@ printGroupsJson(std::ostream &os, const StatRegistry &registry)
 }
 
 void
+printSchemaJson(std::ostream &os, const StatRegistry &registry)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &g : registry.groups()) {
+        for (const auto &s : g->stats()) {
+            const char *kind =
+                dynamic_cast<const Distribution *>(s.get()) ? "distribution"
+                : dynamic_cast<const Histogram *>(s.get())  ? "histogram"
+                : dynamic_cast<const Formula *>(s.get())    ? "formula"
+                                                            : "scalar";
+            os << (first ? "" : ",") << "\n    " << jsonQuote(s->name())
+               << ": {\"kind\": \"" << kind << "\", \"unit\": \""
+               << statUnit(*s) << "\", \"desc\": "
+               << jsonQuote(s->desc()) << "}";
+            first = false;
+        }
+    }
+    os << "\n  }";
+}
+
+void
 printJson(std::ostream &os, const StatRegistry &registry)
 {
-    os << "{\n  \"groups\": ";
+    os << "{\n  \"schema_version\": " << stats_schema_version
+       << ",\n  \"groups\": ";
     printGroupsJson(os, registry);
+    os << ",\n  \"schema\": ";
+    printSchemaJson(os, registry);
     os << "\n}\n";
 }
 

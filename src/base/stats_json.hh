@@ -10,6 +10,7 @@
  * Shape:
  *
  *     {
+ *       "schema_version": 1,
  *       "groups": {
  *         "l1_0": {
  *           "l1_0.misses": {"kind": "scalar", "value": 42},
@@ -18,8 +19,19 @@
  *           ...
  *         },
  *         ...
+ *       },
+ *       "schema": {
+ *         "l1_0.misses": {"kind": "scalar", "unit": "count",
+ *           "desc": "accesses taking the miss path"},
+ *         ...
  *       }
  *     }
+ *
+ * The document is self-describing: `schema_version` names the layout
+ * (cross-run consumers such as tools/fl_report refuse versions they do
+ * not understand), and the `schema` object maps every stat to its
+ * kind, unit and one-line description so a saved JSON file remains
+ * interpretable without the binary that produced it.
  */
 
 #pragma once
@@ -31,6 +43,24 @@
 
 namespace fenceless::statistics
 {
+
+/**
+ * Version of the stats-JSON document layout.  Bumped whenever a field
+ * changes meaning or moves; purely-additive fields do not require a
+ * bump.  History:
+ *   1  first self-describing layout (schema_version + per-stat
+ *      unit/desc schema section, PR 9).
+ */
+constexpr int stats_schema_version = 1;
+
+/**
+ * Unit of a stat, derived from the registry's naming conventions --
+ * the single source of truth for what the numbers mean, kept here so
+ * every JSON consumer shares one table instead of each hardcoding its
+ * own guesses.  Returns e.g. "cycles", "messages", "bytes"; "count"
+ * when no convention matches.
+ */
+const char *statUnit(const Stat &stat);
 
 /** Escape a string for embedding in a JSON document (adds quotes). */
 std::string jsonQuote(const std::string &s);
@@ -48,7 +78,17 @@ void printJson(std::ostream &os, const StatGroup &group);
  */
 void printGroupsJson(std::ostream &os, const StatRegistry &registry);
 
-/** Render the registry as a complete `{"groups": ...}` document. */
+/**
+ * Render the self-describing `"schema"` object: every stat name
+ * mapped to {kind, unit, desc}.  Emitted once per document (never in
+ * snapshots -- the schema cannot change mid-run).
+ */
+void printSchemaJson(std::ostream &os, const StatRegistry &registry);
+
+/**
+ * Render the registry as a complete self-describing document:
+ * `{"schema_version": ..., "groups": ..., "schema": ...}`.
+ */
 void printJson(std::ostream &os, const StatRegistry &registry);
 
 } // namespace fenceless::statistics

@@ -21,6 +21,7 @@ const char *known_options[] = {
     "l1-kb", "l2-kb", "dram-latency", "net-latency", "topology",
     "hop-latency", "dir-banks", "scale", "seed",
     "jobs", "csv", "trace", "trace-out", "stats-json", "stats-interval",
+    "sweep-json",
     "profile-out", "waste-report", "blackbox-out", "blackbox",
     "watchdog-interval", "watchdog-storm", "parallel-sim", "shards",
     "shard-report", "host-telemetry", "help",
@@ -82,8 +83,8 @@ Options::Options(int argc, char **argv)
     seed_ = getInt("seed", 42);
     jobs_ = static_cast<unsigned>(getInt("jobs", 0));
 
-    for (const char *opt :
-         {"trace-out", "stats-json", "profile-out", "blackbox-out"}) {
+    for (const char *opt : {"trace-out", "stats-json", "profile-out",
+                            "blackbox-out", "sweep-json"}) {
         if (has(opt))
             requireWritable(opt, get(opt));
     }
@@ -314,6 +315,9 @@ Options::printUsage(const std::string &prog)
         << "  --stats-json=FILE     write the stat registry as JSON\n"
         << "  --stats-interval=N    snapshot stats every N cycles into\n"
            "                        the --stats-json time series\n"
+        << "  --sweep-json=FILE     benchmarks that sweep an axis also\n"
+           "                        write one JSON object per sweep\n"
+           "                        point (fl_report --sweep-json)\n"
         << "  --profile-out=FILE    write the waste-attribution profile\n"
            "                        as JSON plus FILE.folded (flamegraph\n"
            "                        folded stacks)\n"

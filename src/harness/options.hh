@@ -37,6 +37,9 @@
  *                          (implies --trace=all when --trace is absent)
  *     --stats-json=FILE    full stat registry as JSON
  *     --stats-interval=N   periodic stat snapshots every N cycles
+ *     --sweep-json=FILE    benchmarks that sweep an axis also write
+ *                          one JSON object per sweep point (consumed
+ *                          by fl_report --sweep-json)
  *     --profile-out=FILE   waste-attribution profile as JSON, plus
  *                          FILE.folded (flamegraph folded stacks)
  *     --waste-report       print the top-N waste table to stdout
@@ -108,6 +111,13 @@ class Options
 
     /** Path for --stats-json ("" = no JSON stats requested). */
     std::string statsJson() const { return get("stats-json"); }
+
+    /**
+     * Path for --sweep-json ("" = not requested): benchmarks that
+     * sweep an axis append one JSON object per sweep point, one per
+     * line, for fl_report's scaling analysis.
+     */
+    std::string sweepJson() const { return get("sweep-json"); }
 
     /** Path for --profile-out ("" = no profile export requested). */
     std::string profileOut() const { return get("profile-out"); }

@@ -726,9 +726,13 @@ System::provenanceJson() const
 void
 System::writeStatsJson(std::ostream &os) const
 {
-    os << "{\n  \"provenance\": " << provenanceJson()
+    os << "{\n  \"schema_version\": "
+       << statistics::stats_schema_version
+       << ",\n  \"provenance\": " << provenanceJson()
        << ",\n  \"groups\": ";
     statistics::printGroupsJson(os, stats_);
+    os << ",\n  \"schema\": ";
+    statistics::printSchemaJson(os, stats_);
     if (telemetry_.enabled()) {
         os << ",\n  \"host\": ";
         telemetry_.writeHostJson(os, lookahead(), "  ");

@@ -304,7 +304,10 @@ jsonEscape(std::ostream &os, const std::string &s)
 void
 Profile::writeJson(std::ostream &os) const
 {
-    os << "{\n  \"provenance\": " << provenance::jsonObject()
+    // Versioned like the stats-JSON document (and checked the same way
+    // by tools/fl_report); the two documents version independently.
+    os << "{\n  \"schema_version\": " << profile_schema_version
+       << ",\n  \"provenance\": " << provenance::jsonObject()
        << ",\n  \"buckets\": [";
     for (std::size_t b = 0; b < num_buckets; ++b) {
         os << (b ? ", " : "") << "\""

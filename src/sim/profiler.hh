@@ -66,6 +66,13 @@ enum class CycleBucket : std::uint8_t
 constexpr std::size_t num_buckets =
     static_cast<std::size_t>(CycleBucket::NumBuckets);
 
+/**
+ * Version of the --profile-out JSON layout (see stats_schema_version
+ * for the bump policy).  History:
+ *   1  first versioned layout (PR 9).
+ */
+constexpr int profile_schema_version = 1;
+
 const char *cycleBucketName(CycleBucket b);
 
 /** A code label for symbolization (instruction index -> name). */
