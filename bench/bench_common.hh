@@ -336,10 +336,22 @@ writeObservability(const harness::System &sys,
         std::cerr << "flight recorder written to " << path
                   << " (open in ui.perfetto.dev)\n";
     }
+    if (const std::string path = opts.outliersOut(); !path.empty()) {
+        std::ofstream os(path);
+        if (!os) {
+            std::cerr << "error: cannot open --outliers-out file '"
+                      << path << "'\n";
+            return false;
+        }
+        sys.writeOutliers(os);
+        std::cerr << "outlier dossiers written to " << path << "\n";
+    }
     if (opts.profiling() && !writeProfileArtifacts(sys.profile(), opts))
         return false;
     if (opts.shardReport())
         sys.writeShardReport(std::cout);
+    if (opts.tailReport())
+        sys.writeTailReport(std::cout);
     return true;
 }
 

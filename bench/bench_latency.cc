@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench/bench_common.hh"
+#include "sim/reqtrace.hh"
 #include "workload/kernels.hh"
 #include "workload/microbench.hh"
 
@@ -33,9 +34,34 @@ struct Meas
     double dir_queue = 0;
     double dir_service = 0;
     double net_transit = 0;
+    // Span-based critical-path breakdown (tail_sample=1 traces every
+    // miss): percentage of all traced-miss cycles each stage owns,
+    // plus the number of tail outliers (spans slower than e2e p99).
+    double share_req_net = 0;
+    double share_dir = 0;  //!< dir_queue + dir_access
+    double share_dram = 0;
+    double share_reply = 0;
+    Tick span_p999 = 0;
+    std::uint64_t outliers = 0;
     std::string error;
     bool hung = false;
 };
+
+/** Percent of traced-miss cycles owned by @p stage. */
+double
+stageShare(const reqtrace::TailAttribution &at, reqtrace::Stage stage)
+{
+    if (at.e2e_cycles == 0)
+        return 0.0;
+    // rows holds only the stages that appeared, in stage order -- find
+    // ours rather than indexing by enum value.
+    for (const reqtrace::StageRow &row : at.rows) {
+        if (row.stage == stage)
+            return 100.0 * static_cast<double>(row.cycles)
+                   / static_cast<double>(at.e2e_cycles);
+    }
+    return 0.0;
+}
 
 Meas
 runPoint(const Make &make, Cycles dram_latency)
@@ -53,6 +79,7 @@ runPoint(const Make &make, Cycles dram_latency)
     }
 
     cfg.withSpeculation();
+    cfg.withTailTrace(1); // span-trace every miss of the measured run
     auto wl = make();
     MeasuredSystem m = measureSystem(*wl, cfg);
     if (!m.ok()) {
@@ -73,6 +100,14 @@ runPoint(const Make &make, Cycles dram_latency)
     out.dir_service = meanPhaseLatency(*m.sys, "l2dir", "txn_service");
     out.net_transit = meanPhaseLatency(*m.sys, "network",
                                        "msg_latency");
+    const reqtrace::TailAttribution &at = m.sys->tailAttribution();
+    out.share_req_net = stageShare(at, reqtrace::Stage::ReqNet);
+    out.share_dir = stageShare(at, reqtrace::Stage::DirQueue) +
+                    stageShare(at, reqtrace::Stage::DirAccess);
+    out.share_dram = stageShare(at, reqtrace::Stage::Dram);
+    out.share_reply = stageShare(at, reqtrace::Stage::ReplyNet);
+    out.span_p999 = at.e2e_p999;
+    out.outliers = at.tail_spans;
     return out;
 }
 
@@ -96,6 +131,12 @@ main(int argc, char **argv)
     headers.push_back("dirQ@320");
     headers.push_back("dirSvc@320");
     headers.push_back("net@320");
+    headers.push_back("rqnet%@320");
+    headers.push_back("dir%@320");
+    headers.push_back("dram%@320");
+    headers.push_back("reply%@320");
+    headers.push_back("p99.9@320");
+    headers.push_back("outliers@320");
     harness::Table table(std::move(headers));
 
     workload::LocalLockStream::Params deep;
@@ -137,6 +178,12 @@ main(int argc, char **argv)
         row.push_back(harness::fmt(at_max->dir_queue, 1));
         row.push_back(harness::fmt(at_max->dir_service, 1));
         row.push_back(harness::fmt(at_max->net_transit, 1));
+        row.push_back(harness::fmt(at_max->share_req_net, 1));
+        row.push_back(harness::fmt(at_max->share_dir, 1));
+        row.push_back(harness::fmt(at_max->share_dram, 1));
+        row.push_back(harness::fmt(at_max->share_reply, 1));
+        row.push_back(std::to_string(at_max->span_p999));
+        row.push_back(std::to_string(at_max->outliers));
         table.addRow(std::move(row));
     }
     table.print(std::cout);
@@ -146,6 +193,11 @@ main(int argc, char **argv)
                  "storage.  The miss columns attribute the mean miss "
                  "at 320cy to its phases:\nend-to-end L1 miss latency, "
                  "directory queueing, directory service, and\nper-"
-                 "message network transit.\n";
+                 "message network transit.  The %-columns are the "
+                 "span-traced critical-path\nbreakdown (every miss "
+                 "traced end to end): the share of traced cycles each\n"
+                 "stage owns, the p99.9 end-to-end span latency, and "
+                 "how many spans sat\nabove the p99 (the tail "
+                 "outliers).\n";
     return 0;
 }

@@ -217,6 +217,44 @@ BM_FullSystemProfiled(benchmark::State &state)
 BENCHMARK(BM_FullSystemProfiled);
 
 /**
+ * Whole-system overhead of per-request span tracing: the
+ * BM_FullSystem/1 workload with 1-in-Arg misses traced end to end.
+ * Arg(64) is the shipped default (what --tail-report enables); the
+ * regression guard holds it within 5% of BM_FullSystem/1.  Arg(1)
+ * traces every miss -- there the bound is the post-run span assembly,
+ * which is O(traced misses) (sort + one heap span per miss), not the
+ * recording hot path, so it scales with the sampling rate rather than
+ * amortizing away; it gets its own looser guard as a
+ * quadratic-blowup/regression tripwire.  BM_FullSystem itself keeps
+ * measuring the tracing-off path (one null test per site).
+ */
+void
+BM_FullSystemReqTrace(benchmark::State &state)
+{
+    const auto period = static_cast<std::uint64_t>(state.range(0));
+    std::uint64_t sim_insts = 0;
+    for (auto _ : state) {
+        harness::SystemConfig cfg;
+        cfg.num_cores = 4;
+        cfg.model = cpu::ConsistencyModel::TSO;
+        cfg.withSpeculation();
+        cfg.withTailTrace(period);
+        cfg.blackbox_records = 0; // isolate the span-tracing cost
+        cfg.watchdog_interval = 0;
+        workload::SpinlockCrit wl;
+        isa::Program prog = wl.build(cfg.num_cores);
+        harness::System sys(cfg, prog);
+        const bool done = sys.run();
+        benchmark::DoNotOptimize(done);
+        sim_insts += sys.totalInstructions();
+        state.counters["traced_spans"] =
+            static_cast<double>(sys.tailSpans().spans.size());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(sim_insts));
+}
+BENCHMARK(BM_FullSystemReqTrace)->Arg(64)->Arg(1);
+
+/**
  * Whole-system cost of the default-on incident-observability layer:
  * the BM_FullSystem/1 workload with the flight recorder and hang
  * watchdog at their defaults.  The regression guard holds this within

@@ -63,6 +63,7 @@ import sys
 
 GUARDED_PREFIXES = ("BM_EventQueue", "BM_FullSystem/",
                     "BM_FullSystemProfiled", "BM_FullSystemBlackbox",
+                    "BM_FullSystemReqTrace",
                     "BM_FullSystemParallel/",
                     "BM_FullSystemParallelTelemetry/",
                     "BM_FullSystemMesh64")
@@ -72,6 +73,17 @@ GUARDED_PREFIXES = ("BM_EventQueue", "BM_FullSystem/",
 RELATIVE_GUARDS = (
     ("BM_FullSystemBlackbox", "BM_FullSystem/1", 0.05),
     ("BM_FullSystemProfiled", "BM_FullSystem/1", 0.10),
+    # Per-request span tracing at the shipped default sampling rate
+    # (1 in 64 misses, what --tail-report enables); budget is 5% over
+    # the tracing-off run.
+    ("BM_FullSystemReqTrace/64", "BM_FullSystem/1", 0.05),
+    # Every miss traced: the bound is the post-run span assembly,
+    # O(traced misses) by design (sort + one heap span per miss), so
+    # on this short benchmark sim it legitimately costs tens of
+    # percent.  The loose guard is a tripwire for accidental
+    # quadratic blowups in assembly/attribution, not an overhead
+    # promise -- the 5% promise is the /64 row above.
+    ("BM_FullSystemReqTrace/1", "BM_FullSystem/1", 0.60),
     # Host-waste telemetry: same 16-core sharded run with the per-shard
     # accounting on; ISSUE budget is 5% at matched shard count.
     ("BM_FullSystemParallelTelemetry/4/real_time",

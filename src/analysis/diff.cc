@@ -191,7 +191,8 @@ diffStats(const StatsRun &base, const StatsRun &cand, std::size_t top_n)
             if (cs == cg->second.end())
                 continue;
             if (sval.kind == "distribution") {
-                for (const char *field : {"mean", "p50", "p95", "p99"}) {
+                for (const char *field :
+                     {"mean", "p50", "p95", "p99", "p999"}) {
                     StatDelta d;
                     d.group = gname;
                     d.stat = sname;

@@ -108,8 +108,10 @@ struct StatsDiff
     GroupPresence presence;
     /** Largest relative movements among common scalar/formula stats. */
     std::vector<StatDelta> top;
-    /** p50/p95/p99/mean deltas of common distribution stats that
-     *  moved, ranked by |relative p99 change|. */
+    /** mean/p50/p95/p99/p999 deltas of common distribution stats that
+     *  moved, ranked by |relative change|.  An absent percentile key
+     *  (e.g. "p999" in a schema-v1 base) reads as 0, so its
+     *  appearance in the candidate surfaces as a delta. */
     std::vector<StatDelta> percentiles;
 };
 

@@ -159,14 +159,21 @@ namespace
 {
 
 /**
- * Version gate shared by both document families: absent, non-numeric
- * or mismatched versions are refused with a message naming both
- * sides, since silently comparing drifted layouts defeats the tool.
+ * Version gate shared by both document families: absent or non-numeric
+ * versions are refused, as is anything outside [oldest, expected] --
+ * newer layouts may have moved fields this tool would misread, and
+ * silently comparing drifted layouts defeats the tool.  Families whose
+ * revisions are purely additive (stats-json gained "p999" in v2) pass
+ * an @p oldest below @p expected so archived artifacts keep loading:
+ * the generic field copy in loadStatValue simply sees fewer keys, and
+ * the diff layer treats an absent percentile as 0.
  */
 bool
 checkSchemaVersion(const Json &doc, int expected, const char *family,
-                   int &found, std::string &error)
+                   int &found, std::string &error, int oldest = 0)
 {
+    if (oldest <= 0)
+        oldest = expected;
     if (!doc.isObject()) {
         error = std::string(family) + " document is not a JSON object";
         return false;
@@ -179,10 +186,11 @@ checkSchemaVersion(const Json &doc, int expected, const char *family,
         return false;
     }
     found = static_cast<int>(v.asI64());
-    if (found != expected) {
+    if (found < oldest || found > expected) {
         error = std::string(family) + " schema_version " +
-                std::to_string(found) + " does not match this tool's " +
-                std::to_string(expected) + "; refusing to compare";
+                std::to_string(found) + " is outside this tool's [" +
+                std::to_string(oldest) + ", " + std::to_string(expected) +
+                "]; refusing to compare";
         return false;
     }
     return true;
@@ -244,7 +252,8 @@ loadStatsRun(const std::string &text, const std::string &label,
         return false;
     }
     if (!checkSchemaVersion(doc, statistics::stats_schema_version,
-                            "stats-json", out.schema_version, error))
+                            "stats-json", out.schema_version, error,
+                            /*oldest=*/1))
         return false;
 
     out.label = label;

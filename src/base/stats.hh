@@ -87,7 +87,12 @@ class Scalar : public Stat
  *
  * Log-linear buckets (HDR style): values below 8 get one bucket each
  * (exact for the small integer latencies that dominate), larger values
- * share 8 sub-buckets per power of two (<= ~6% relative error).  All
+ * share 8 sub-buckets per power of two (<= ~6% relative error).  The
+ * error bound is a property of the bucket geometry, not of the
+ * quantile: p99.9 reads from a (sparser-populated) bucket the same way
+ * p50 does, so exposing p999 for tail-latency work needed no extra
+ * sub-bucketing -- 8/octave already holds every estimate, however deep
+ * in the tail, to one bucket (~6%) of the true sample.  All
  * state is integer counts, so merging two sketches is an elementwise
  * add -- commutative and associative -- which makes the estimates
  * merge-stable: a sharded run folding per-producer sketches in any
@@ -123,7 +128,8 @@ class PercentileSketch
 
 /**
  * Online mean / min / max / stddev over sampled values, plus
- * p50/p95/p99 percentile estimates from an embedded PercentileSketch.
+ * p50/p95/p99/p99.9 percentile estimates from an embedded
+ * PercentileSketch.
  *
  * The variance uses Welford's online algorithm (weighted for repeated
  * samples): the naive sqsum/n - mean^2 form cancels catastrophically

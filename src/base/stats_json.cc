@@ -115,6 +115,8 @@ printJson(std::ostream &os, const Stat &stat)
         printJsonNumber(os, d->percentile(0.95));
         os << ", \"p99\": ";
         printJsonNumber(os, d->percentile(0.99));
+        os << ", \"p999\": ";
+        printJsonNumber(os, d->percentile(0.999));
         os << ", \"total\": ";
         printJsonNumber(os, d->total());
         os << "}";

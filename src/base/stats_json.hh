@@ -50,8 +50,11 @@ namespace fenceless::statistics
  * bump.  History:
  *   1  first self-describing layout (schema_version + per-stat
  *      unit/desc schema section, PR 9).
+ *   2  distributions gain "p999" (tail-latency observability, PR 10).
+ *      Additive, but bumped anyway so consumers that *require* p999
+ *      can tell old artifacts apart; loaders accept [1, 2].
  */
-constexpr int stats_schema_version = 1;
+constexpr int stats_schema_version = 2;
 
 /**
  * Unit of a stat, derived from the registry's naming conventions --

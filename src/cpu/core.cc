@@ -421,6 +421,7 @@ Core::executeLoad(const Inst &inst)
     req.size = inst.size;
     req.spec = spec_now;
     req.spec_epoch = spec_now ? spec_->epoch() : 0;
+    req.pc = pc_;
     req.done_fn = [](void *obj, std::uint64_t gen, std::uint64_t value) {
         static_cast<Core *>(obj)->loadResponse(gen, value);
     };
@@ -447,7 +448,7 @@ Core::executeStore(const Inst &inst)
         return;
     }
     sb_.push(addr, inst.size, reg(inst.rs2), spec_now,
-             spec_now ? spec_->epoch() : 0);
+             spec_now ? spec_->epoch() : 0, pc_);
     ++stat_stores_;
     advance(pc_ + 1);
 }
@@ -499,6 +500,7 @@ Core::executeAmo(const Inst &inst)
     req.size = inst.size;
     req.spec = spec_now;
     req.spec_epoch = spec_now ? spec_->epoch() : 0;
+    req.pc = pc_;
     req.amo_fn = [](std::uint8_t sel, std::uint64_t old_value,
                     std::uint64_t a, std::uint64_t b) {
         return isa::amoApplyOp(static_cast<Op>(sel), old_value, a, b);

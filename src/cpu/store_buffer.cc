@@ -59,7 +59,8 @@ StoreBuffer::hasOverlap(Addr addr, unsigned size) const
 
 std::uint64_t
 StoreBuffer::push(Addr addr, std::uint8_t size, std::uint64_t data,
-                  bool spec, std::uint32_t spec_epoch)
+                  bool spec, std::uint32_t spec_epoch,
+                  std::uint64_t pc)
 {
     flAssert(!full(), "push into a full store buffer");
     Entry e;
@@ -69,6 +70,7 @@ StoreBuffer::push(Addr addr, std::uint8_t size, std::uint64_t data,
     e.data = data;
     e.spec = spec;
     e.spec_epoch = spec_epoch;
+    e.pc = pc;
     e.barrier_group = barrier_group_;
     entries_.push_back(e);
     ++stat_pushed_;
@@ -178,6 +180,7 @@ StoreBuffer::issueNext()
         req.store_data = e->data;
         req.spec = e->spec;
         req.spec_epoch = e->spec_epoch;
+        req.pc = e->pc;
         req.done_fn = [](void *obj, std::uint64_t seq, std::uint64_t) {
             static_cast<StoreBuffer *>(obj)->complete(seq);
         };
@@ -218,6 +221,7 @@ StoreBuffer::issuePrefetches()
         req.op = mem::MemOp::PrefetchEx;
         req.addr = e.addr;
         req.size = e.size;
+        req.pc = e.pc;
         req.done_fn = [](void *, std::uint64_t, std::uint64_t) {};
         l1_.access(std::move(req));
     }

@@ -59,6 +59,7 @@ class StoreBuffer
         std::uint64_t data;
         bool spec;
         std::uint32_t spec_epoch;
+        std::uint64_t pc = 0; //!< issuing static instruction
         std::uint32_t barrier_group;
         bool issued = false;
         bool prefetched = false; //!< ownership prefetch already sent
@@ -109,7 +110,8 @@ class StoreBuffer
 
     /** Retire a store into the buffer (must not be full). */
     std::uint64_t push(Addr addr, std::uint8_t size, std::uint64_t data,
-                       bool spec, std::uint32_t spec_epoch);
+                       bool spec, std::uint32_t spec_epoch,
+                       std::uint64_t pc = 0);
 
     /** Insert a release-fence ordering marker (RMO). */
     void pushBarrier();

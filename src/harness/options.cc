@@ -24,7 +24,8 @@ const char *known_options[] = {
     "sweep-json",
     "profile-out", "waste-report", "blackbox-out", "blackbox",
     "watchdog-interval", "watchdog-storm", "parallel-sim", "shards",
-    "shard-report", "host-telemetry", "help",
+    "shard-report", "host-telemetry", "tail-sample", "tail-report",
+    "outliers-out", "outliers", "help",
 };
 
 bool
@@ -84,7 +85,8 @@ Options::Options(int argc, char **argv)
     jobs_ = static_cast<unsigned>(getInt("jobs", 0));
 
     for (const char *opt : {"trace-out", "stats-json", "profile-out",
-                            "blackbox-out", "sweep-json"}) {
+                            "blackbox-out", "sweep-json",
+                            "outliers-out"}) {
         if (has(opt))
             requireWritable(opt, get(opt));
     }
@@ -220,6 +222,20 @@ Options::applyTo(SystemConfig base) const
         base.watchdog_interval = getInt("watchdog-interval", 0);
     if (has("watchdog-storm"))
         base.watchdog_storm = getInt("watchdog-storm", 0);
+    // --tail-report / --outliers-out imply span tracing at the default
+    // period; --tail-sample=N sets the period explicitly (1 = every
+    // miss).  Off by default: the sanctioned outputs must stay
+    // byte-identical when no tail option is given.
+    if (has("tail-sample") || has("tail-report") ||
+        has("outliers-out") || has("outliers")) {
+        base.tail_sample = getInt("tail-sample", 64);
+        if (base.tail_sample == 0) {
+            std::cerr << "warning: --tail-sample=0 disables span "
+                         "tracing; tail outputs will be empty\n";
+        }
+        base.tail_outliers =
+            static_cast<std::uint32_t>(getInt("outliers", 10));
+    }
     // --shard-report implies telemetry; --host-telemetry[=0|1] sets it
     // directly (so a report-less run can still feed the stats-json
     // "host" section and the trace's host tracks).
@@ -341,6 +357,16 @@ Options::printUsage(const std::string &prog)
         << "  --host-telemetry=0|1  per-shard busy/barrier/drain\n"
            "                        accounting, stats-json host section\n"
            "                        and host trace tracks\n"
+        << "  --tail-sample=N       trace 1 in N misses end to end\n"
+           "                        (1 = every miss; byte-identical\n"
+           "                        for any --shards / --jobs)\n"
+        << "  --tail-report         print the critical-path stage\n"
+           "                        attribution table (implies\n"
+           "                        --tail-sample=64 if unset)\n"
+        << "  --outliers-out=FILE   write top-K slowest-request\n"
+           "                        dossiers as JSON (implies span\n"
+           "                        tracing like --tail-report)\n"
+        << "  --outliers=K          dossiers to keep (default 10)\n"
         << "  --help                this message\n";
 }
 

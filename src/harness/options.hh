@@ -64,6 +64,16 @@
  *     --host-telemetry=0|1 per-shard busy/barrier/drain accounting,
  *                          the stats-json "host" section and host
  *                          tracks in --trace-out
+ *     --tail-sample=N      per-request span tracing: trace 1 in N
+ *                          misses end to end (1 = every miss; the
+ *                          sampled set is byte-identical for any
+ *                          --shards / --jobs value)
+ *     --tail-report        print the critical-path stage-attribution
+ *                          table after the run (implies
+ *                          --tail-sample=64 when unset)
+ *     --outliers-out=FILE  write the top-K slowest-request dossiers
+ *                          as JSON (implies span tracing)
+ *     --outliers=K         dossiers to keep (default 10)
  *     --help               print usage and exit
  *
  * Output paths (--trace-out, --stats-json, --profile-out) are opened
@@ -130,6 +140,12 @@ class Options
 
     /** @return true if --shard-report was passed. */
     bool shardReport() const { return has("shard-report"); }
+
+    /** @return true if --tail-report was passed. */
+    bool tailReport() const { return has("tail-report"); }
+
+    /** Path for --outliers-out ("" = no dossiers requested). */
+    std::string outliersOut() const { return get("outliers-out"); }
 
     /** @return true if any profiler output was requested. */
     bool

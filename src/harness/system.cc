@@ -1,6 +1,7 @@
 #include "harness/system.hh"
 
 #include <algorithm>
+#include <array>
 #include <barrier>
 #include <iomanip>
 #include <sstream>
@@ -240,6 +241,40 @@ System::System(const SystemConfig &config, const isa::Program &prog)
         }
     }
 
+    // Span sinks follow the same rule (components cache ifEnabled()
+    // once).  Everything below -- the aux names, the "tailtrace" stat
+    // group -- exists only when tracing is on, so a tracing-off run's
+    // stats/trace documents are byte-identical to a build without the
+    // feature.
+    if (config_.tail_sample > 0) {
+        for (auto &sctx : shard_ctx_)
+            sctx->spans.configure(config_.tail_sample);
+        std::vector<std::string> stage_names;
+        for (std::size_t s = 0; s < reqtrace::num_stages; ++s) {
+            stage_names.emplace_back(reqtrace::stageName(
+                static_cast<reqtrace::Stage>(s)));
+        }
+        ctx_.tracer.setAuxNames(trace::EventKind::ReqStage,
+                                std::move(stage_names));
+        statistics::StatGroup &g = stats_.createGroup("tailtrace");
+        tail_stat_spans_ = &g.addScalar("sampled_spans",
+            "complete primary request spans sampled");
+        tail_stat_waiters_ = &g.addScalar("waiter_spans",
+            "coalesced-waiter spans sampled");
+        tail_stat_incomplete_ = &g.addScalar("incomplete_spans",
+            "sampled spans cut off at end of run");
+        tail_stat_retries_ = &g.addScalar("fill_retries",
+            "fill yanks across sampled spans");
+        tail_stat_e2e_ = &g.addDistribution("e2e_latency",
+            "end-to-end cycles of sampled spans (incl. waiters)");
+        for (std::size_t s = 0; s < reqtrace::num_stages - 1; ++s) {
+            tail_stat_stage_.push_back(&g.addDistribution(
+                std::string("stage_") + reqtrace::stageName(
+                    static_cast<reqtrace::Stage>(s)),
+                "per-span cycles attributed to this stage"));
+        }
+    }
+
     isa::loadImage(prog_, backing_);
 
     // The topology layer needs the endpoint count for routing; the
@@ -357,6 +392,8 @@ System::run()
     // Fold the network's per-node counters into its stat group; every
     // mode does this here, so the rendered stats are mode-independent.
     network_->finalizeStats();
+    if (config_.tail_sample > 0)
+        finalizeTailTrace();
     return !hung_ && totalHalted() == config_.num_cores;
 }
 
@@ -871,6 +908,177 @@ System::writeShardReport(std::ostream &os) const
     os << "=== end shard report ===\n";
 }
 
+void
+System::finalizeTailTrace()
+{
+    if (tail_finalized_)
+        return;
+    tail_finalized_ = true;
+
+    // Canonical merge: concatenate the per-shard event vectors in
+    // shard order; assembleSpans re-sorts by (req, tick) into an order
+    // that is a pure function of the simulated timing.
+    std::vector<reqtrace::SpanEvent> events;
+    for (const auto &sctx : shard_ctx_) {
+        const auto &ev = sctx->spans.events();
+        events.insert(events.end(), ev.begin(), ev.end());
+    }
+    tail_spans_ = reqtrace::assembleSpans(std::move(events),
+                                          config_.tail_sample);
+    tail_attr_ = reqtrace::attributeStages(tail_spans_);
+
+    // Fill the "tailtrace" stat group on this (the main) thread, in
+    // canonical span order: the registry is shared across shards, so
+    // the rendered JSON is shard-count independent.
+    std::uint64_t primaries = 0, waiters = 0, retries = 0;
+    for (const reqtrace::Span &s : tail_spans_.spans) {
+        ++(s.waiter ? waiters : primaries);
+        retries += s.retries;
+        tail_stat_e2e_->sample(static_cast<double>(s.latency()));
+        std::array<Tick, reqtrace::num_stages> per{};
+        for (const reqtrace::SpanStage &st : s.stages)
+            per[static_cast<std::size_t>(st.stage)] += st.cycles;
+        for (std::size_t b = 0; b < tail_stat_stage_.size(); ++b) {
+            if (per[b])
+                tail_stat_stage_[b]->sample(
+                    static_cast<double>(per[b]));
+        }
+    }
+    *tail_stat_spans_ = primaries;
+    *tail_stat_waiters_ = waiters;
+    *tail_stat_incomplete_ = tail_spans_.incomplete;
+    *tail_stat_retries_ = retries;
+}
+
+void
+System::writeTailReport(std::ostream &os) const
+{
+    if (config_.tail_sample == 0) {
+        os << "tail report: span tracing was off "
+              "(--tail-sample / --tail-report enables it)\n";
+        return;
+    }
+    const reqtrace::TailAttribution &at = tail_attr_;
+    os << "=== tail report (per-request span attribution) ===\n";
+    os << "sampling: 1 in " << config_.tail_sample
+       << " misses; spans=" << at.spans << " (incl. waiter spans), "
+       << "incomplete=" << tail_spans_.incomplete << "\n";
+    os << "e2e latency (cycles): p50=" << at.e2e_p50 << " p95="
+       << at.e2e_p95 << " p99=" << at.e2e_p99 << " p99.9="
+       << at.e2e_p999 << "\n";
+
+    // The per-stage sums must tile the end-to-end latencies exactly:
+    // spans record boundary events only, so this reconciliation is by
+    // construction -- print it so regressions are visible.
+    std::uint64_t stage_cycles = 0;
+    for (const reqtrace::StageRow &row : at.rows)
+        stage_cycles += row.cycles;
+    os << "stage cycles " << stage_cycles << " / e2e cycles "
+       << at.e2e_cycles
+       << (stage_cycles == at.e2e_cycles ? " (reconciled exactly)"
+                                         : " (MISMATCH)")
+       << "\n\n";
+
+    Table t({"stage", "spans", "cycles", "share%", "p50", "p95", "p99",
+             "p99.9", "tail_own"});
+    for (const reqtrace::StageRow &row : at.rows) {
+        t.addRow({reqtrace::stageName(row.stage),
+                  std::to_string(row.spans),
+                  std::to_string(row.cycles),
+                  fmt(at.e2e_cycles
+                          ? 100.0 * static_cast<double>(row.cycles)
+                                / static_cast<double>(at.e2e_cycles)
+                          : 0.0),
+                  std::to_string(row.p50), std::to_string(row.p95),
+                  std::to_string(row.p99), std::to_string(row.p999),
+                  std::to_string(row.tail_owned)});
+    }
+    t.print(os);
+
+    os << "\ntail ownership (" << at.tail_spans
+       << " spans above p99=" << at.e2e_p99 << "):";
+    for (const reqtrace::StageRow *row : at.tailRanking()) {
+        if (row->tail_owned == 0)
+            continue;
+        os << " " << reqtrace::stageName(row->stage) << "="
+           << row->tail_owned;
+    }
+    os << "\n=== end tail report ===\n";
+}
+
+void
+System::writeOutliers(std::ostream &os) const
+{
+    const std::vector<const reqtrace::Span *> top =
+        reqtrace::topK(tail_spans_, config_.tail_outliers);
+    const std::vector<std::uint64_t> lmsgs =
+        network_->foldedLinkMsgs();
+    const mem::Topology topo = config_.net.topology;
+    const std::uint32_t nn = config_.num_cores + config_.dir_banks;
+
+    os << "{\n  \"schema_version\": 1,\n  \"provenance\": "
+       << provenanceJson() << ",\n  \"sampling_period\": "
+       << config_.tail_sample << ",\n  \"spans\": "
+       << tail_spans_.spans.size() << ",\n  \"outliers\": [";
+    bool first = true;
+    for (const reqtrace::Span *sp : top) {
+        const std::uint32_t bank = bankOf(sp->block);
+        const auto dir_node =
+            static_cast<mem::NodeId>(config_.num_cores + bank);
+        const auto core_node = static_cast<mem::NodeId>(sp->core());
+
+        // The hottest link (whole-run traffic) on the request + reply
+        // route -- routes are pure functions of (src, dst), so this
+        // needs no per-hop events.
+        std::uint64_t hot_msgs = 0;
+        std::int64_t hot_link = -1;
+        if (!lmsgs.empty()) {
+            const auto consider = [&](std::uint32_t l) {
+                if (l < lmsgs.size() &&
+                    (hot_link < 0 || lmsgs[l] > hot_msgs)) {
+                    hot_msgs = lmsgs[l];
+                    hot_link = l;
+                }
+            };
+            mem::forEachRouteLink(topo, nn, core_node, dir_node,
+                                  consider);
+            mem::forEachRouteLink(topo, nn, dir_node, core_node,
+                                  consider);
+        }
+
+        os << (first ? "" : ",") << "\n    {\"req_id\": " << sp->req_id
+           << ", \"core\": " << sp->core() << ", \"seq\": " << sp->seq()
+           << ", \"block\": \"0x" << std::hex << sp->block << std::dec
+           << "\", \"pc\": " << sp->pc << ", \"pc_sym\": \""
+           << symbolizePc(sp->pc) << "\", \"issue\": " << sp->issue
+           << ", \"done\": " << sp->done << ", \"latency\": "
+           << sp->latency() << ", \"waiters\": " << sp->waiters
+           << ", \"retries\": " << sp->retries << ", \"dir_bank\": \""
+           << dirBankName(config_.dir_banks, bank) << "\"";
+        if (hot_link >= 0) {
+            os << ", \"hot_link\": \""
+               << mem::linkName(topo,
+                                static_cast<std::uint32_t>(hot_link))
+               << "\", \"hot_link_msgs\": " << hot_msgs;
+        }
+        os << ", \"stages\": [";
+        bool sfirst = true;
+        for (const reqtrace::SpanStage &st : sp->stages) {
+            os << (sfirst ? "" : ", ") << "{\"stage\": \""
+               << reqtrace::stageName(st.stage) << "\", \"at\": "
+               << st.at << ", \"cycles\": " << st.cycles
+               << ", \"aux\": " << st.aux;
+            if (st.flags & reqtrace::span_flag_retry)
+                os << ", \"retry\": true";
+            os << "}";
+            sfirst = false;
+        }
+        os << "]}";
+        first = false;
+    }
+    os << "\n  ]\n}\n";
+}
+
 Tick
 System::runtimeCycles() const
 {
@@ -956,6 +1164,26 @@ System::exportTrace(std::ostream &os) const
     for (auto &bucket : by_comp) {
         records.insert(records.end(), bucket.begin(), bucket.end());
         bucket.clear();
+    }
+    // Synthesize ReqStage records from the assembled spans -- at
+    // export time only, so a tracing-off dump carries no trace of the
+    // feature and live recording pays nothing for it.  The spans are
+    // already canonical, so the merged document stays shard-count
+    // independent.
+    if (config_.tail_sample > 0) {
+        for (const reqtrace::Span &sp : tail_spans_.spans) {
+            for (const reqtrace::SpanStage &st : sp.stages) {
+                trace::TraceRecord r{};
+                r.tick = st.at;
+                r.a0 = sp.req_id;
+                r.a1 = st.cycles;
+                r.comp = st.node;
+                r.kind = static_cast<std::uint16_t>(
+                    trace::EventKind::ReqStage);
+                r.aux = static_cast<std::uint32_t>(st.stage);
+                records.push_back(r);
+            }
+        }
     }
     std::stable_sort(records.begin(), records.end(),
                      [](const trace::TraceRecord &a,

@@ -123,6 +123,19 @@ struct SystemConfig
     bool host_telemetry = false;
 
     /**
+     * Per-request span tracing (tail-latency observability, see
+     * sim/reqtrace.hh): sample 1 in N misses (0 = off, 1 = every
+     * miss).  Sampling is a pure hash of the shard-invariant request
+     * id, so the sampled set -- and every derived artifact -- is
+     * byte-identical across --shards and host-parallel sweeps.  Off
+     * costs one cached-pointer null test per stage site.
+     */
+    std::uint64_t tail_sample = 0;
+
+    /** Slowest-request dossiers kept by writeOutliers(). */
+    std::uint32_t tail_outliers = 10;
+
+    /**
      * Hang-watchdog probe interval in cycles (0 disables).  If a whole
      * interval passes in which no core retires an instruction, the run
      * aborts with a stall dossier instead of spinning to max_cycles.
@@ -190,6 +203,15 @@ struct SystemConfig
     withTopology(mem::Topology t)
     {
         net.topology = t;
+        return *this;
+    }
+
+    /** Convenience: enable per-request span tracing. */
+    SystemConfig &
+    withTailTrace(std::uint64_t period = 1, std::uint32_t outliers = 10)
+    {
+        tail_sample = period;
+        tail_outliers = outliers;
         return *this;
     }
 };
@@ -347,6 +369,40 @@ class System
     /** The host-waste telemetry accumulators (enabled() false if off). */
     const ShardTelemetry &telemetry() const { return telemetry_; }
 
+    // --- tail-latency observability --------------------------------------
+
+    /**
+     * The assembled request spans of the last run (empty unless
+     * `config.tail_sample` was set).  Canonical order -- identical for
+     * any shard count.
+     */
+    const reqtrace::SpanSet &tailSpans() const { return tail_spans_; }
+
+    /** The critical-path stage attribution of the sampled spans. */
+    const reqtrace::TailAttribution &
+    tailAttribution() const
+    {
+        return tail_attr_;
+    }
+
+    /**
+     * Write the critical-path stage-attribution table: per-stage
+     * contribution percentiles (p50/p95/p99/p99.9), cycle shares that
+     * reconcile exactly with the spans' end-to-end latencies, and the
+     * tail-ownership ranking (which stage dominates above-p99 spans).
+     * No-op (with a notice) when span tracing was off.
+     */
+    void writeTailReport(std::ostream &os) const;
+
+    /**
+     * Write the top-K slowest-request dossiers as JSON: per-stage
+     * timeline, symbolized issuing PC, home directory bank, and the
+     * hottest link on the request's route (ring/mesh).  K is
+     * `config.tail_outliers`; selection is ordered by (latency desc,
+     * req id asc), so the document is deterministic.
+     */
+    void writeOutliers(std::ostream &os) const;
+
     /**
      * Write the end-of-run host-waste report: per-shard utilization,
      * the imbalance factor (max/mean busy), barrier-stall attribution
@@ -433,6 +489,7 @@ class System
     void takeSnapshot(Tick tick);
     void onWatchdogFire(const sim::Watchdog::Report &report);
     void writeArchState(std::ostream &os) const;
+    void finalizeTailTrace();
 
     SystemConfig config_;
     isa::Program prog_;
@@ -470,6 +527,18 @@ class System
     bool hung_ = false;
     sim::Watchdog::Report watchdog_report_;
     std::string dossier_;
+
+    // Tail-latency observability (populated by finalizeTailTrace()).
+    reqtrace::SpanSet tail_spans_;
+    reqtrace::TailAttribution tail_attr_;
+    bool tail_finalized_ = false;
+    /** "tailtrace" stat group members (null when tracing is off). */
+    statistics::Scalar *tail_stat_spans_ = nullptr;
+    statistics::Scalar *tail_stat_waiters_ = nullptr;
+    statistics::Scalar *tail_stat_incomplete_ = nullptr;
+    statistics::Scalar *tail_stat_retries_ = nullptr;
+    statistics::Distribution *tail_stat_e2e_ = nullptr;
+    std::vector<statistics::Distribution *> tail_stat_stage_;
 };
 
 } // namespace fenceless::harness

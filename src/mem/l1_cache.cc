@@ -29,6 +29,7 @@ L1Cache::L1Cache(sim::SimContext &ctx, const std::string &name,
     : SimObject(ctx, name), params_(params), core_id_(core_id),
       node_id_(core_id), dirmap_(dirmap), network_(network),
       prof_(ctx.profiler.ifEnabled()),
+      rtrace_(ctx.spans.ifEnabled()),
       array_(params.size, params.assoc, params.block_size),
       stat_loads_(statGroup().addScalar("loads", "load accesses")),
       stat_stores_(statGroup().addScalar("stores", "store accesses")),
@@ -195,6 +196,15 @@ L1Cache::access(MemRequest req)
     if (!mshrs_.empty()) {
         auto it = mshrs_.find(block_addr);
         if (it != mshrs_.end()) {
+            if (rtrace_ && it->second.traced) {
+                // Coalesced waiter: flagged, not on the tiled path --
+                // span assembly turns it into its own L1Queue span.
+                rtrace_->record(it->second.req_id, curTick(),
+                                reqtrace::Stage::L1Queue, traceId(),
+                                block_addr,
+                                static_cast<std::uint32_t>(req.pc),
+                                reqtrace::span_flag_waiter);
+            }
             it->second.waiting.push_back(std::move(req));
             return;
         }
@@ -252,6 +262,15 @@ L1Cache::handleMiss(MemRequest req, bool want_m)
     // however the system is sharded across host threads.
     mshr.req_id =
         (static_cast<std::uint64_t>(node_id_ + 1) << 40) | ++last_req_id_;
+    if (rtrace_ && rtrace_->sampled(mshr.req_id)) {
+        // Span sampling is a pure function of the id, so the directory
+        // bank re-derives this decision from msg.req_id with no state.
+        mshr.traced = true;
+        mshr.pc = req.pc;
+        rtrace_->record(mshr.req_id, curTick(),
+                        reqtrace::Stage::ReqNet, traceId(), block_addr,
+                        static_cast<std::uint32_t>(req.pc));
+    }
     mshr.waiting.push_back(std::move(req));
     FL_TEVENT(*this, trace::EventKind::ReqIssue, mshr.req_id,
               block_addr);
@@ -397,6 +416,11 @@ L1Cache::handleData(const Msg &msg)
     mshr.fill = msg;
     mshr.fill_pending = true;
     mshr.fill_arrival = curTick();
+    if (rtrace_ && mshr.traced) {
+        rtrace_->record(mshr.req_id, curTick(),
+                        reqtrace::Stage::FillWait, traceId(),
+                        mshr.block_addr);
+    }
     tryCompleteFill(mshr);
 }
 
@@ -490,6 +514,12 @@ L1Cache::tryCompleteFill(Mshr &mshr)
         static_cast<double>(curTick() - mshr.fill_arrival));
     FL_TEVENT(*this, trace::EventKind::ReqFill, mshr.req_id,
               mshr.block_addr);
+    if (rtrace_ && mshr.traced) {
+        rtrace_->record(mshr.req_id, curTick(), reqtrace::Stage::Done,
+                        traceId(), mshr.block_addr,
+                        static_cast<std::uint32_t>(
+                            mshr.waiting.size() - 1));
+    }
 
     // Retire the MSHR, then replay the queued requests in order.  A
     // replayed write may re-miss for an upgrade and allocate a fresh
@@ -660,6 +690,13 @@ L1Cache::handleInv(const Msg &msg)
         mshr.fill_blocked = false;
         sendToDir(MsgType::InvAck, msg.block_addr);
         // Re-request; the waiting accesses stay queued.
+        if (rtrace_ && mshr.traced) {
+            rtrace_->record(mshr.req_id, curTick(),
+                            reqtrace::Stage::ReqNet, traceId(),
+                            msg.block_addr,
+                            static_cast<std::uint32_t>(mshr.pc),
+                            reqtrace::span_flag_retry);
+        }
         sendToDir(mshr.want_m ? MsgType::GetM : MsgType::GetS,
                   msg.block_addr, nullptr, mshr.req_id);
         return;
@@ -721,6 +758,13 @@ L1Cache::handleFwd(const Msg &msg)
                   mshr.fill.data.data());
         mshr.fill_pending = false;
         mshr.fill_blocked = false;
+        if (rtrace_ && mshr.traced) {
+            rtrace_->record(mshr.req_id, curTick(),
+                            reqtrace::Stage::ReqNet, traceId(),
+                            msg.block_addr,
+                            static_cast<std::uint32_t>(mshr.pc),
+                            reqtrace::span_flag_retry);
+        }
         sendToDir(mshr.want_m ? MsgType::GetM : MsgType::GetS,
                   msg.block_addr, nullptr, mshr.req_id);
         return;

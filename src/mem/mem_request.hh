@@ -61,6 +61,13 @@ struct MemRequest
     std::uint64_t store_data = 0;
     bool spec = false; //!< access belongs to a speculative epoch
     std::uint32_t spec_epoch = 0; //!< epoch the access belongs to
+    /**
+     * Issuing static instruction (DecodedProgram index), carried for
+     * observability only: a sampled miss span symbolizes it in the
+     * outlier dossier.  0 for requests with no guest PC (ownership
+     * prefetches, test traffic).
+     */
+    std::uint64_t pc = 0;
 
     DoneFn done_fn = nullptr;
     void *done_obj = nullptr;

@@ -169,6 +169,18 @@ forEachRouteLink(Topology t, std::uint32_t n, NodeId s, NodeId d,
 }
 
 std::string
+linkName(Topology t, std::uint32_t link_id)
+{
+    static const char *const mesh_dirs[4] = {"+x", "-x", "+y", "-y"};
+    static const char *const ring_dirs[4] = {"cw", "ccw", "?", "?"};
+    std::ostringstream os;
+    os << "rtr" << (link_id / 4) << '.'
+       << (t == Topology::Ring ? ring_dirs[link_id % 4]
+                               : mesh_dirs[link_id % 4]);
+    return os.str();
+}
+
+std::string
 Msg::toString() const
 {
     std::ostringstream os;
@@ -439,6 +451,22 @@ Network::ingressFire(NodeId id)
         else if (ev->when() > next)
             n.ctx->eventq.reschedule(ev, next);
     }
+}
+
+std::vector<std::uint64_t>
+Network::foldedLinkMsgs() const
+{
+    if (params_.topology == Topology::Crossbar)
+        return {};
+    const std::size_t nlinks =
+        static_cast<std::size_t>(routerSlots(params_.topology,
+                                             params_.num_nodes)) * 4;
+    std::vector<std::uint64_t> lmsgs(nlinks, 0);
+    for (const Node &n : nodes_) {
+        for (std::size_t l = 0; l < n.link_msgs.size(); ++l)
+            lmsgs[l] += n.link_msgs[l];
+    }
+    return lmsgs;
 }
 
 void

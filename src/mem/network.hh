@@ -124,6 +124,13 @@ std::uint32_t topologyHops(Topology t, std::uint32_t n, NodeId s,
 void forEachRouteLink(Topology t, std::uint32_t n, NodeId s, NodeId d,
                       const std::function<void(std::uint32_t)> &fn);
 
+/**
+ * Human-readable name for a directed link id: "rtr<slot>.<dir>" where
+ * dir is +x/-x/+y/-y on the mesh and cw/ccw on the ring.  Used by the
+ * tail-latency dossiers to name a request's hottest link.
+ */
+std::string linkName(Topology t, std::uint32_t link_id);
+
 class Network : public sim::SimObject
 {
   public:
@@ -259,6 +266,18 @@ class Network : public sim::SimObject
             }
         }
     }
+
+    /** The topology (dossiers reconstruct routes from it). */
+    Topology topology() const { return params_.topology; }
+
+    /**
+     * Fold the per-node per-link message counters into one vector
+     * (indexed by link id; empty on the crossbar).  Same node-order
+     * fold as finalizeStats(), so the result is shard-independent;
+     * callable at any point (end-of-run reports use it to name each
+     * sampled request's hottest link).
+     */
+    std::vector<std::uint64_t> foldedLinkMsgs() const;
 
     /** Fault-injected drops so far (see Params::drop_fwd_acks_for). */
     std::uint64_t

@@ -12,6 +12,7 @@
 #include "base/types.hh"
 #include "sim/eventq.hh"
 #include "sim/profiler.hh"
+#include "sim/reqtrace.hh"
 #include "sim/trace_sink.hh"
 
 namespace fenceless::sim
@@ -56,6 +57,7 @@ struct SimContext
     statistics::StatRegistry &stats;
     trace::TraceSink tracer;
     prof::WasteProfiler profiler;
+    reqtrace::ReqTraceSink spans;
 
     Tick curTick() const { return eventq.curTick(); }
 };

@@ -28,6 +28,7 @@ eventKindName(EventKind k)
       case EventKind::NetHop: return "net_hop";
       case EventKind::HostPhase: return "host_phase";
       case EventKind::HostCoord: return "host_coord";
+      case EventKind::ReqStage: return "req_stage";
       case EventKind::NumKinds: break;
     }
     return "?";
@@ -200,6 +201,11 @@ writeChromeJson(std::ostream &os, const TraceSink &sink,
     std::map<std::pair<std::uint16_t, Tick>,
              std::vector<const TraceRecord *>> host_quanta;
 
+    // Sampled request-span stages (synthesized from the reqtrace
+    // sinks) are grouped per request so each span renders as a chain
+    // of stage slices connected by its own flow track.
+    std::map<std::uint64_t, std::vector<const TraceRecord *>> spans;
+
     each([&](const TraceRecord &r) {
         const auto kind = static_cast<EventKind>(r.kind);
         const char *name = eventKindName(kind);
@@ -258,6 +264,11 @@ writeChromeJson(std::ostream &os, const TraceSink &sink,
           case EventKind::HostPhase:
             if (r.a1 != 0)
                 host_quanta[{r.comp, r.tick}].push_back(&r);
+            break;
+
+          case EventKind::ReqStage:
+            if (r.a0 != 0)
+                spans[r.a0].push_back(&r);
             break;
 
           case EventKind::HostCoord:
@@ -332,6 +343,38 @@ writeChromeJson(std::ostream &os, const TraceSink &sink,
                              : i + 1 == events.size() ? "f" : "t";
             writeCommon(w.next(), "req", ph, r.tick, r.comp);
             os << ", \"cat\": \"req\", \"id\": " << req_id;
+            if (*ph == 'f')
+                os << ", \"bp\": \"e\"";
+            os << "}";
+        }
+    }
+
+    // Sampled request spans: one named slice per tiled stage on the
+    // component that recorded it, chained by a per-request flow (cat
+    // "span") so Perfetto draws the request's path through the memory
+    // system as an arrow chain under the existing guest tracks.
+    for (auto &[req_id, stages] : spans) {
+        std::stable_sort(stages.begin(), stages.end(),
+                         [](const TraceRecord *a, const TraceRecord *b) {
+                             return a->tick < b->tick;
+                         });
+        for (std::size_t i = 0; i < stages.size(); ++i) {
+            const TraceRecord &r = *stages[i];
+            const std::string &sname =
+                sink.auxName(EventKind::ReqStage, r.aux);
+            writeCommon(w.next(),
+                        sname.empty() ? "req_stage" : sname.c_str(),
+                        "X", r.tick, r.comp);
+            os << ", \"dur\": " << (r.a1 ? r.a1 : 1)
+               << ", \"args\": {\"req\": " << req_id
+               << ", \"cycles\": " << r.a1 << "}}";
+
+            if (stages.size() < 2)
+                continue;
+            const char *ph = i == 0 ? "s"
+                             : i + 1 == stages.size() ? "f" : "t";
+            writeCommon(w.next(), "span", ph, r.tick, r.comp);
+            os << ", \"cat\": \"span\", \"id\": " << req_id;
             if (*ph == 'f')
                 os << ", \"bp\": \"e\"";
             os << "}";

@@ -72,6 +72,10 @@ enum class EventKind : std::uint16_t
                   //!< a1 = phase ns, aux = HostPhaseKind
     HostCoord,    //!< instant: coordinator step at a quantum boundary;
                   //!< a1 = step ns, aux = boundary cause id
+    // Sampled request spans (Flag::Req).  Synthesized at export time
+    // from the reqtrace span sinks, never recorded live: one slice per
+    // tiled stage, chained with flow arrows under the guest tracks.
+    ReqStage,     //!< duration: a0 = req id, a1 = cycles, aux = stage
     NumKinds,
 };
 
@@ -99,6 +103,7 @@ eventKindFlag(EventKind k)
       case EventKind::NetHop: return Flag::Net;
       case EventKind::HostPhase:
       case EventKind::HostCoord: return Flag::Host;
+      case EventKind::ReqStage: return Flag::Req;
       case EventKind::NumKinds: break;
     }
     return Flag::All;

@@ -253,6 +253,7 @@ TEST(StatsJson, EveryKindRendersItsFullState)
     EXPECT_NE(json.find("\"p50\""), std::string::npos);
     EXPECT_NE(json.find("\"p95\""), std::string::npos);
     EXPECT_NE(json.find("\"p99\""), std::string::npos);
+    EXPECT_NE(json.find("\"p999\""), std::string::npos);
     EXPECT_NE(json.find("\"underflow\""), std::string::npos);
     EXPECT_NE(json.find("\"buckets\""), std::string::npos);
 }
@@ -293,6 +294,30 @@ TEST(PercentileSketch, BoundedRelativeError)
         const double exact = std::ceil(q * 10000.0);
         EXPECT_NEAR(s.quantile(q), exact, 0.10 * exact) << "q=" << q;
     }
+}
+
+TEST(PercentileSketch, DeepTailKeepsTheSameErrorBound)
+{
+    // The ~6% bound is a property of the bucket geometry, not of the
+    // quantile, so p99.9 (exposed for tail-latency work) needed no
+    // extra sub-bucketing: a deep-tail estimate lands within one
+    // bucket of the exact sample just like the median does, even on a
+    // heavy-tailed population where the p99.9 sits far from the bulk.
+    PercentileSketch uniform;
+    for (int v = 1; v <= 100000; ++v)
+        uniform.add(v);
+    EXPECT_NEAR(uniform.quantile(0.999), 99900.0, 0.10 * 99900.0);
+
+    PercentileSketch skewed;
+    for (int v = 0; v < 9989; ++v)
+        skewed.add(100.0); // the bulk
+    for (int v = 0; v < 11; ++v)
+        skewed.add(50000.0 + 1000.0 * v); // the tail
+    // Exact p99.9 of 10000 samples is the 9990th smallest -- the
+    // first tail sample (50000); the estimate must resolve the tail,
+    // not report the bulk.
+    EXPECT_NEAR(skewed.quantile(0.999), 50000.0, 0.10 * 50000.0);
+    EXPECT_NEAR(skewed.quantile(0.50), 100.0, 0.0625 * 100.0);
 }
 
 TEST(PercentileSketch, WeightedAddMatchesRepeated)
